@@ -1,0 +1,23 @@
+"""Shared workload construction for the benchmark suite.
+
+Workload sizes are controlled by the ``REPRO_BENCH_SCALE`` environment
+variable (default 1.0 multiplies each dataset's CI-sized default scale),
+so the same suite runs anywhere from a laptop smoke pass to a full-night
+study.
+"""
+
+import os
+
+from repro.datasets.catalog import SPECS
+
+
+def bench_scale() -> float:
+    """Global workload multiplier from the environment."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def dataset(name: str, scale_mult: float = 1.0):
+    """Synthesize a catalog twin at the benchmark scale."""
+    spec = SPECS[name]
+    scale = min(1.0, spec.default_scale * bench_scale() * scale_mult)
+    return spec.synthesize(scale)

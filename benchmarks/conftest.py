@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md's experiment index).  Shared workload helpers live in
+``_workloads.py``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.parallel.runtime import ParallelConfig
+
+
+@pytest.fixture
+def config() -> ParallelConfig:
+    """The paper's 16-thread single-node configuration."""
+    return ParallelConfig(threads=16, seed=2020)

@@ -1,0 +1,79 @@
+"""Ablation: weight-corrected Chung-Lu vs the paper's heuristic.
+
+Section II-C dismisses weight corrections [36]: even after an expensive
+fixed point matches the expected degrees, the rank-one probability
+family "is still not representative of a uniformly random or properly
+mixed graph".  This bench measures all three axes on one instance:
+cost to produce probabilities, expected-degree accuracy, and residual
+attachment bias against the uniform sample.
+"""
+
+import numpy as np
+import pytest
+
+from _workloads import dataset
+from repro.bench.harness import uniform_reference
+from repro.core.mixing import l1_probability_error
+from repro.core.probabilities import expected_degrees, generate_probabilities
+from repro.generators.bernoulli import chung_lu_probabilities
+from repro.generators.corrected_chung_lu import (
+    corrected_probability_matrix,
+    corrected_weights,
+)
+from repro.graph.stats import attachment_probability_matrix
+from repro.parallel.runtime import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def dist():
+    return dataset("Meso")
+
+
+@pytest.fixture(scope="module")
+def uniform_matrix(dist):
+    cfg = ParallelConfig(seed=1)
+    base = np.zeros((dist.n_classes, dist.n_classes))
+    samples = 5
+    for s in range(samples):
+        ref = uniform_reference(dist, cfg.with_seed(s), swap_iterations=12)
+        base += attachment_probability_matrix(ref, dist)
+    return base / samples
+
+
+def degree_err(P, dist):
+    got = expected_degrees(P, dist)
+    return float((np.abs(got - dist.degrees) / dist.degrees).mean())
+
+
+def test_report(dist, uniform_matrix):
+    naive = chung_lu_probabilities(dist)
+    corrected = corrected_probability_matrix(corrected_weights(dist))
+    ours = generate_probabilities(dist).P
+    print()
+    for name, P in (("naive CL", naive), ("corrected CL", corrected), ("ours", ours)):
+        print(f"{name:13s} degree err {degree_err(P, dist):.4f}  "
+              f"uniform-sample bias {l1_probability_error(P, uniform_matrix):.3f}")
+
+
+def test_correction_fixes_degrees_not_bias(dist, uniform_matrix):
+    corrected = corrected_probability_matrix(corrected_weights(dist))
+    naive = chung_lu_probabilities(dist)
+    assert degree_err(corrected, dist) < degree_err(naive, dist)
+    # ... but the attachment bias does not go away
+    assert l1_probability_error(corrected, uniform_matrix) > 0.05
+
+
+def test_heuristic_matches_degrees_like_corrections(dist):
+    ours = generate_probabilities(dist).P
+    corrected = corrected_probability_matrix(corrected_weights(dist))
+    assert degree_err(ours, dist) < 0.1
+    assert degree_err(corrected, dist) < 0.1
+
+
+def test_bench_corrected_fixed_point(benchmark, dist):
+    res = benchmark(corrected_weights, dist)
+    assert res.converged
+
+
+def test_bench_heuristic_probabilities(benchmark, dist):
+    benchmark(generate_probabilities, dist)

@@ -1,0 +1,57 @@
+"""Ablation: reservation-based permutation vs baselines.
+
+The paper reports an order-of-magnitude speedup for Shun et al. style
+permutation over other libraries (e.g. mergeshuffle).  Here the
+vectorized reservation engine is compared against the sort-based
+permutation and the pure-Python Fisher–Yates reference; the reservation
+round count (its span) is also asserted logarithmic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel.permutation import (
+    PermutationStats,
+    fisher_yates_permutation,
+    parallel_permutation,
+    sort_permutation,
+)
+from repro.parallel.runtime import ParallelConfig
+
+N = 200_000
+
+
+def test_bench_reservation(benchmark):
+    arr = np.arange(N)
+    out = benchmark(parallel_permutation, arr, ParallelConfig(seed=1))
+    assert len(out) == N
+
+
+def test_bench_sort_based(benchmark):
+    arr = np.arange(N)
+    out = benchmark(sort_permutation, arr, np.random.default_rng(1))
+    assert len(out) == N
+
+
+def test_bench_fisher_yates_python(benchmark):
+    arr = np.arange(N // 20)  # pure-Python loop: bench a smaller slice
+    out = benchmark(fisher_yates_permutation, arr, 1)
+    assert len(out) == N // 20
+
+
+def test_reservation_rounds_logarithmic():
+    stats = PermutationStats()
+    parallel_permutation(np.arange(N), ParallelConfig(seed=2), stats=stats)
+    assert stats.rounds <= 4 * int(np.log2(N))
+    # retries waste little work
+    assert stats.retry_overhead < 3.0
+
+
+def test_all_methods_produce_permutations():
+    arr = np.arange(5000)
+    for out in (
+        parallel_permutation(arr, ParallelConfig(seed=3)),
+        sort_permutation(arr, 3),
+        fisher_yates_permutation(arr, 3),
+    ):
+        np.testing.assert_array_equal(np.sort(out), arr)

@@ -1,0 +1,72 @@
+"""Ablation: the probability heuristic's design choices.
+
+Quantifies (a) the three-term minimum's clamps — without them the
+allocation demands more edges between hub classes than a simple graph
+can host; (b) full vs halved allocation; (c) extra allocation passes.
+"""
+
+import numpy as np
+import pytest
+
+from _workloads import dataset
+from repro.core.probabilities import (
+    _pair_capacity,
+    expected_degrees,
+    generate_probabilities,
+)
+
+
+@pytest.fixture(scope="module")
+def dist():
+    return dataset("as20")
+
+
+def rel_error(res, dist):
+    got = expected_degrees(res.P, dist)
+    return float((np.abs(got - dist.degrees) / dist.degrees).mean())
+
+
+def test_report(dist):
+    print()
+    rows = [
+        ("full, 1 pass", generate_probabilities(dist)),
+        ("full, 3 passes", generate_probabilities(dist, passes=3)),
+        ("halved, 1 pass", generate_probabilities(dist, allocation="halved")),
+        ("halved, 6 passes", generate_probabilities(dist, allocation="halved", passes=6)),
+        ("no clamps", generate_probabilities(dist, clamp_pairs=False, clamp_stubs=False)),
+    ]
+    for name, res in rows:
+        print(f"{name:18s} expected-degree rel err {rel_error(res, dist):.4f} "
+              f"residual stubs {res.residual_stubs.sum():.0f}")
+
+
+def test_clamps_keep_allocation_feasible(dist):
+    cap = _pair_capacity(dist)
+    clamped = generate_probabilities(dist)
+    free = generate_probabilities(dist, clamp_pairs=False, clamp_stubs=False)
+    assert (clamped.expected_edge_counts <= cap + 1e-6).all()
+    assert (free.expected_edge_counts > cap + 1e-6).any()
+
+
+def test_full_beats_halved_single_pass(dist):
+    full = rel_error(generate_probabilities(dist), dist)
+    halved = rel_error(generate_probabilities(dist, allocation="halved"), dist)
+    assert full < halved
+
+
+def test_halved_converges_with_passes(dist):
+    one = rel_error(generate_probabilities(dist, allocation="halved"), dist)
+    six = rel_error(generate_probabilities(dist, allocation="halved", passes=6), dist)
+    assert six < one / 2
+
+
+@pytest.mark.parametrize("allocation", ["full", "halved"])
+def test_bench_probability_generation(benchmark, dist, allocation):
+    res = benchmark(generate_probabilities, dist, allocation=allocation)
+    assert (res.P <= 1).all()
+
+
+def test_bench_probability_generation_large(benchmark):
+    big = dataset("Twitter")
+    res = benchmark(generate_probabilities, big)
+    assert (res.P <= 1).all()

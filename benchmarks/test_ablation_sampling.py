@@ -1,0 +1,47 @@
+"""Ablation: binary-search vs alias sampling in the O(m) model.
+
+The O(log n) binary search per draw is what Figure 5 blames for the
+O(m) model's slowdown at scale; the alias method removes that factor.
+The bench quantifies the gap on a large weighted list.
+"""
+
+import numpy as np
+import pytest
+
+from _workloads import dataset
+from repro.generators.chung_lu import chung_lu_om
+from repro.generators.sampling import AliasSampler, BinarySearchSampler
+from repro.parallel.runtime import ParallelConfig
+
+N_WEIGHTS = 300_000
+N_DRAWS = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def weights():
+    rng = np.random.default_rng(0)
+    return rng.pareto(2.0, N_WEIGHTS) + 1.0
+
+
+def test_bench_binary_search_draws(benchmark, weights):
+    sampler = BinarySearchSampler(weights)
+    out = benchmark(sampler.sample, N_DRAWS, 1)
+    assert len(out) == N_DRAWS
+
+
+def test_bench_alias_draws(benchmark, weights):
+    sampler = AliasSampler(weights)
+    out = benchmark(sampler.sample, N_DRAWS, 1)
+    assert len(out) == N_DRAWS
+
+
+def test_bench_alias_setup(benchmark, weights):
+    benchmark(AliasSampler, weights)
+
+
+@pytest.mark.parametrize("sampler", ["binary", "alias"])
+def test_bench_chung_lu_om_with_sampler(benchmark, sampler):
+    dist = dataset("LiveJournal")
+    cfg = ParallelConfig(threads=16, seed=7)
+    g = benchmark(chung_lu_om, dist, cfg, sampler=sampler)
+    assert g.m == dist.m

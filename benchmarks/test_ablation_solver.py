@@ -1,0 +1,70 @@
+"""Ablation: heuristic vs least-squares probability solving.
+
+The paper: "There exist many viable methods to calculate some valid
+solution to the system, but our aim is to do so as fast as possible;
+with subsequent generation and edge swaps we remove any bias our
+probability selection creates."  The bench quantifies both ends: the
+O(|D|²) heuristic (small residual, microseconds) against the exact
+bounded-least-squares solve (zero residual, orders of magnitude slower)
+— and shows the post-swap quality difference the paper predicts is
+negligible.
+"""
+
+import numpy as np
+import pytest
+
+from _workloads import dataset
+from repro.core.generate import generate_graph
+from repro.core.probabilities import expected_degrees, generate_probabilities
+from repro.core.solvers import solve_probabilities_lsq
+from repro.datasets.synthetic import deterministic_powerlaw
+from repro.parallel.runtime import ParallelConfig
+
+DIST = deterministic_powerlaw(n=2000, d_avg=4.0, d_max=200, n_classes=40)
+
+
+def rel_error(P, dist):
+    got = expected_degrees(P, dist)
+    return float((np.abs(got - dist.degrees) / dist.degrees).mean())
+
+
+def test_report():
+    heu = generate_probabilities(DIST)
+    lsq = solve_probabilities_lsq(DIST)
+    print()
+    print(f"heuristic: expected-degree rel err {rel_error(heu.P, DIST):.5f}")
+    print(f"lsq:       expected-degree rel err {rel_error(lsq.P, DIST):.5f}")
+
+
+def test_lsq_more_accurate():
+    heu = rel_error(generate_probabilities(DIST).P, DIST)
+    lsq = rel_error(solve_probabilities_lsq(DIST).P, DIST)
+    assert lsq <= heu + 1e-9
+    assert lsq < 1e-4
+
+
+def test_post_swap_quality_equivalent():
+    """After swaps, both probability sources yield equally good graphs —
+    the paper's justification for choosing the fast heuristic."""
+    cfg = ParallelConfig(threads=8, seed=3)
+    sizes = {}
+    for name, prob in (
+        ("heuristic", generate_probabilities(DIST)),
+        ("lsq", solve_probabilities_lsq(DIST)),
+    ):
+        ms = [
+            generate_graph(
+                DIST, swap_iterations=3, config=cfg.with_seed(s), probabilities=prob
+            )[0].m
+            for s in range(5)
+        ]
+        sizes[name] = np.mean(ms)
+    assert abs(sizes["heuristic"] - sizes["lsq"]) < 0.05 * DIST.m
+
+
+def test_bench_heuristic(benchmark):
+    benchmark(generate_probabilities, DIST)
+
+
+def test_bench_lsq(benchmark):
+    benchmark.pedantic(solve_probabilities_lsq, args=(DIST,), rounds=2, iterations=1)

@@ -1,0 +1,66 @@
+"""Ablation: the swap chain across null-model spaces (Fosdick et al. [16]).
+
+The paper's Section I notes "several different spaces for null graph
+models" and works in the simple space.  This bench measures what the
+space choice costs: acceptance rate (the simple space rejects the most),
+per-iteration throughput (constraint-free spaces skip the hash table),
+and the defect counts each space equilibrates to.
+"""
+
+import numpy as np
+import pytest
+
+from _workloads import dataset
+from repro.core.swap import SwapStats, swap_edges
+from repro.generators.havel_hakimi import havel_hakimi_graph
+from repro.parallel.runtime import ParallelConfig
+
+SPACES = ("simple", "loopy", "multigraph", "loopy_multigraph")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return havel_hakimi_graph(dataset("as20"))
+
+
+@pytest.fixture(scope="module")
+def stats_by_space(graph):
+    out = {}
+    for space in SPACES:
+        stats = SwapStats()
+        g = swap_edges(graph, 4, ParallelConfig(seed=9), space=space, stats=stats)
+        out[space] = (stats, g)
+    return out
+
+
+def test_report(stats_by_space):
+    print()
+    for space, (stats, g) in stats_by_space.items():
+        print(f"{space:17s} acceptance {stats.acceptance_rate:.3f}  "
+              f"loops {g.count_self_loops():5d}  multi {g.count_multi_edges():5d}")
+
+
+def test_simple_space_lowest_acceptance(stats_by_space):
+    rates = {s: st.acceptance_rate for s, (st, _) in stats_by_space.items()}
+    assert rates["simple"] == min(rates.values())
+    assert rates["loopy_multigraph"] == 1.0
+
+
+def test_constraints_match_space(stats_by_space):
+    _, g_simple = stats_by_space["simple"]
+    _, g_loopy = stats_by_space["loopy"]
+    _, g_multi = stats_by_space["multigraph"]
+    assert g_simple.is_simple()
+    assert g_loopy.count_multi_edges() == 0
+    assert g_multi.count_self_loops() == 0
+
+
+def test_degrees_invariant_in_every_space(graph, stats_by_space):
+    target = np.sort(graph.degree_sequence())
+    for space, (_, g) in stats_by_space.items():
+        np.testing.assert_array_equal(np.sort(g.degree_sequence()), target)
+
+
+@pytest.mark.parametrize("space", SPACES)
+def test_bench_swap_iteration_per_space(benchmark, graph, space):
+    benchmark(swap_edges, graph, 1, ParallelConfig(seed=10), space=space)

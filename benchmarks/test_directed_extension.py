@@ -1,0 +1,85 @@
+"""Extension: the directed pipeline (paper Section I, refs [14], [15]).
+
+Mirrors the undirected shape claims for digraphs: the directed O(m)
+model produces defects on skewed bidegrees, the pipeline stays simple
+and matches arc counts, directed swaps preserve every (out, in) pair
+and swap most arcs within a few iterations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.directed import (
+    DirectedDegreeDistribution,
+    DirectedSwapStats,
+    directed_chung_lu_om,
+    directed_generate_graph,
+    directed_swap_edges,
+    kleitman_wang_graph,
+)
+from repro.directed.edgelist import DirectedEdgeList
+from repro.parallel.runtime import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def dist():
+    rng = np.random.default_rng(0)
+    n = 3000
+    # skewed out-degrees, lighter in-degrees
+    u = rng.integers(0, n, 30_000)
+    v = (u + 1 + rng.integers(0, n - 1, 30_000)) % n
+    hubs = rng.integers(0, n, 6_000) * 0  # hub 0 sources
+    hv = rng.integers(1, n, 6_000)
+    g = DirectedEdgeList(
+        np.concatenate([u, hubs]), np.concatenate([v, hv]), n
+    ).simplify()
+    return DirectedDegreeDistribution.from_graph(g)
+
+
+def test_report(dist):
+    g, report = directed_generate_graph(
+        dist, swap_iterations=2, config=ParallelConfig(threads=8, seed=1)
+    )
+    print()
+    print(f"bidegree classes: {dist.n_classes}, arcs: {dist.m}")
+    print(f"pipeline: m={g.m} simple={g.is_simple()} "
+          f"acceptance={report.swap_stats.acceptance_rate:.3f}")
+
+
+def test_om_produces_defects(dist):
+    g = directed_chung_lu_om(dist, ParallelConfig(seed=2))
+    assert g.count_self_loops() + g.count_multi_arcs() > 0
+
+
+def test_pipeline_simple_and_sized(dist):
+    g, _ = directed_generate_graph(
+        dist, swap_iterations=1, config=ParallelConfig(seed=3)
+    )
+    assert g.is_simple()
+    assert g.m == pytest.approx(dist.m, rel=0.05)
+
+
+def test_swaps_move_most_arcs_quickly(dist):
+    g = kleitman_wang_graph(dist)
+    stats = DirectedSwapStats()
+    directed_swap_edges(g, 3, ParallelConfig(seed=4), stats=stats)
+    assert stats.swapped_fraction > 0.85
+
+
+def test_bench_directed_end_to_end(benchmark, dist):
+    benchmark.pedantic(
+        directed_generate_graph,
+        args=(dist,),
+        kwargs={"swap_iterations": 1, "config": ParallelConfig(threads=8, seed=5)},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bench_kleitman_wang(benchmark, dist):
+    benchmark(kleitman_wang_graph, dist)
+
+
+def test_bench_directed_swap_iteration(benchmark, dist):
+    g = kleitman_wang_graph(dist)
+    benchmark(directed_swap_edges, g, 1, ParallelConfig(threads=8, seed=6))

@@ -1,0 +1,39 @@
+"""Figure 2: degree-distribution error of the erased model.
+
+Paper claim: attempting to realize a skewed distribution with an erased
+configuration-based approach visibly distorts the output degree
+distribution.
+"""
+
+import numpy as np
+import pytest
+
+from _workloads import dataset
+from repro.bench.experiments import fig2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig2(dataset("as20"), samples=6)
+
+
+def test_fig2_report(result):
+    print()
+    print(result.render())
+
+
+def test_low_degree_underproduced(result):
+    """Erasure upgrades... no: erased hub edges demote high-degree mass
+    into the mid range; degree-1 vertices are heavily underproduced."""
+    err = result.series["pct_error"]
+    assert err[0] < -10.0
+
+
+def test_visible_distortion_overall(result):
+    err = result.series["pct_error"]
+    assert np.abs(err).mean() > 2.0
+
+
+def test_bench_fig2(benchmark):
+    dist = dataset("as20")
+    benchmark.pedantic(fig2, args=(dist,), kwargs={"samples": 2}, rounds=1, iterations=1)

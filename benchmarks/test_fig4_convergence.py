@@ -1,0 +1,58 @@
+"""Figure 4: attachment-probability convergence under swap iterations.
+
+Paper claims: the O(m) model's probabilities start worst (multi-edges)
+but eventually converge; all simple methods converge quickly; roughly
+10 iterations reach the steady state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import fig4
+from repro.core.swap import swap_edges
+from repro.bench.harness import uniform_reference
+from _workloads import dataset
+from repro.parallel.runtime import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig4("as20", iterations=(0, 1, 2, 3, 5, 8, 12, 16, 24),
+                samples=4, baseline_samples=4, baseline_iterations=32)
+
+
+def test_fig4_report(result):
+    print()
+    print(result.render())
+    print(f"measurement noise floor: {result.series['noise_floor']:.4f}")
+
+
+def test_om_starts_worst(result):
+    m = result.series["methods"]
+    start = {k: v[0] for k, v in m.items()}
+    assert start["CL O(m)"] == max(start.values())
+
+
+def test_om_error_decays_monotonically_overall(result):
+    om = result.series["methods"]["CL O(m)"]
+    assert om[-1] < om[0] / 2
+
+
+def test_simple_methods_converge_fast(result):
+    """By ~10 iterations every simple method sits near its asymptote."""
+    m = result.series["methods"]
+    for name in ("O(m) simple", "O(n^2) edgeskip", "ours"):
+        curve = m[name]
+        assert curve[-3] < curve[0] + 0.1  # no divergence
+        # late-curve flatness: steady state reached
+        assert abs(curve[-1] - curve[-2]) < 0.05
+
+
+def test_ours_reaches_noise_floor(result):
+    ours = result.series["methods"]["ours"]
+    assert ours[-1] < 2.0 * result.series["noise_floor"] + 0.05
+
+
+def test_bench_swap_iteration(benchmark, config):
+    g = uniform_reference(dataset("as20"), config, swap_iterations=1)
+    benchmark(swap_edges, g, 1, config)

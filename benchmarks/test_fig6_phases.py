@@ -1,0 +1,55 @@
+"""Figure 6: per-phase execution time of our method.
+
+Paper claims: probability generation, despite quadratic work, is
+proportionally quick because |D| ≪ d_max ≪ m; swapping dominates the
+end-to-end cost.
+"""
+
+import pytest
+
+from _workloads import dataset
+from repro.bench.experiments import fig6
+from repro.core.edge_skip import generate_edges
+from repro.core.probabilities import generate_probabilities
+from repro.core.swap import swap_edges
+from repro.core.generate import generate_graph
+from repro.parallel.runtime import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig6(datasets=("Meso", "as20", "LiveJournal", "Friendster"))
+
+
+def test_fig6_report(result):
+    print()
+    print(result.render())
+
+
+def test_probability_phase_is_cheap(result):
+    totals = result.series["totals"]
+    assert totals["probabilities"] < 0.5 * totals["swap"]
+
+
+def test_swap_phase_dominates(result):
+    totals = result.series["totals"]
+    assert totals["swap"] == max(totals.values())
+
+
+# ---- per-phase microbenchmarks (the bars of Figure 6) -------------------
+
+def test_bench_phase_probabilities(benchmark):
+    dist = dataset("LiveJournal")
+    benchmark(generate_probabilities, dist)
+
+
+def test_bench_phase_edge_generation(benchmark, config):
+    dist = dataset("LiveJournal")
+    prob = generate_probabilities(dist)
+    benchmark(generate_edges, prob.P, dist, config)
+
+
+def test_bench_phase_swap(benchmark, config):
+    dist = dataset("LiveJournal")
+    graph, _ = generate_graph(dist, swap_iterations=0, config=config)
+    benchmark(swap_edges, graph, 1, config)

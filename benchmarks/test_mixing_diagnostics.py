@@ -1,0 +1,94 @@
+"""Extension: empirical mixing study (the paper's future-work section).
+
+The paper assumes "the number of swap iterations required is
+proportional to the chance of an unsuccessful swap" and that "uniform
+mixing appears to be achieved after a sufficient number of iterations
+where each edge has been successfully swapped".  This bench measures
+both: iterations-to-all-swapped across the skewed twins, and the
+integrated autocorrelation time of a structural statistic along the
+chain.
+"""
+
+import numpy as np
+import pytest
+
+from _workloads import dataset
+from repro.core.diagnostics import (
+    gelman_rubin,
+    integrated_autocorrelation_time,
+    iterations_until_all_swapped,
+    statistic_trace,
+)
+from repro.generators.havel_hakimi import havel_hakimi_graph
+from repro.graph.stats import degree_assortativity
+from repro.parallel.runtime import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return havel_hakimi_graph(dataset("as20"))
+
+
+def test_report(graph):
+    its, stats = iterations_until_all_swapped(
+        graph, ParallelConfig(seed=1), max_iterations=128, target_fraction=0.999
+    )
+    traces = [
+        statistic_trace(graph, 24, degree_assortativity, ParallelConfig(seed=s))
+        for s in (2, 3, 4)
+    ]
+    tau = np.mean([integrated_autocorrelation_time(t) for t in traces])
+    print()
+    print(f"iterations to swap 99.9% of edges: {its} "
+          f"(acceptance {stats.acceptance_rate:.3f})")
+    print(f"assortativity IACT: {tau:.2f} iterations; "
+          f"R-hat over 3 chains: {gelman_rubin(traces):.3f}")
+
+
+def test_all_edges_swap_within_tens_of_iterations(graph):
+    its, _ = iterations_until_all_swapped(
+        graph, ParallelConfig(seed=5), max_iterations=128, target_fraction=0.999
+    )
+    assert its <= 40
+
+
+def test_more_failures_mean_more_iterations():
+    """The paper's proportionality assumption, measured directly."""
+    results = []
+    for name in ("LiveJournal", "as20"):  # mild vs heavily skewed
+        g = havel_hakimi_graph(dataset(name))
+        its, stats = iterations_until_all_swapped(
+            g, ParallelConfig(seed=6), max_iterations=128, target_fraction=0.99
+        )
+        results.append((1 - stats.acceptance_rate, its))
+    results.sort()
+    # higher failure chance should not need fewer iterations
+    assert results[0][1] <= results[1][1] + 2
+
+
+def test_chains_agree(graph):
+    traces = [
+        statistic_trace(graph, 20, degree_assortativity, ParallelConfig(seed=s))
+        for s in (7, 8, 9)
+    ]
+    # drop the common deterministic start before comparing chains
+    assert gelman_rubin([t[3:] for t in traces]) < 1.7
+
+
+def test_bench_iterations_until_all_swapped(benchmark, graph):
+    benchmark.pedantic(
+        iterations_until_all_swapped,
+        args=(graph, ParallelConfig(seed=10)),
+        kwargs={"max_iterations": 64, "target_fraction": 0.99},
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_bench_statistic_trace(benchmark, graph):
+    benchmark.pedantic(
+        statistic_trace,
+        args=(graph, 8, degree_assortativity, ParallelConfig(seed=11)),
+        rounds=2,
+        iterations=1,
+    )

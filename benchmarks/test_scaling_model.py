@@ -1,0 +1,65 @@
+"""Section V complexity / scaling claims via the cost model.
+
+Work O(|D|² + m log m) and parallel time O(|D| + log m + log n): the
+recorded work/span of a real run must scale accordingly, and the modeled
+speedup curves must be near-linear through 16 threads (the paper's
+single-node core count) for the parallel phases.
+"""
+
+import numpy as np
+import pytest
+
+from _workloads import dataset
+from repro.bench.experiments import scaling
+from repro.core.generate import generate_graph
+from repro.parallel.runtime import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return scaling("LiveJournal", thread_counts=(1, 2, 4, 8, 16, 32), swap_iterations=2)
+
+
+def test_scaling_report(result):
+    print()
+    print(result.render())
+
+
+def test_near_linear_to_16_threads(result):
+    by_threads = {row[0]: row[1] for row in result.rows}
+    assert by_threads[16] > 12.0
+
+
+def test_speedup_monotone(result):
+    speedups = [row[1] for row in result.rows]
+    assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+
+
+def test_work_scales_with_m():
+    """Doubling the instance roughly doubles total recorded work."""
+    works = []
+    for mult in (1.0, 2.0):
+        dist = dataset("LiveJournal", scale_mult=mult)
+        _, report = generate_graph(
+            dist, swap_iterations=1, config=ParallelConfig(threads=16, seed=2)
+        )
+        works.append((dist.m, report.cost.total_work()))
+    (m1, w1), (m2, w2) = works
+    ratio = (w2 / w1) / (m2 / m1)
+    assert 0.5 < ratio < 2.0
+
+
+def test_depth_much_smaller_than_work():
+    dist = dataset("LiveJournal")
+    _, report = generate_graph(
+        dist, swap_iterations=1, config=ParallelConfig(threads=16, seed=2)
+    )
+    assert report.cost.total_depth() < report.cost.total_work() / 100
+
+
+def test_bench_cost_model_evaluation(benchmark):
+    dist = dataset("LiveJournal")
+    _, report = generate_graph(
+        dist, swap_iterations=1, config=ParallelConfig(threads=16, seed=2)
+    )
+    benchmark(report.cost.speedup_curve, [1, 2, 4, 8, 16, 32, 64])

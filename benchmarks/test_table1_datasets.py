@@ -1,0 +1,25 @@
+"""Table I: test graph characteristics.
+
+Regenerates the dataset table and checks every twin matches its
+published average degree; benchmark times twin synthesis.
+"""
+
+import pytest
+
+from repro.bench.experiments import table1
+from repro.datasets.catalog import SPECS
+
+
+def test_table1_report():
+    result = table1()
+    print()
+    print(result.render())
+    for row in result.rows:
+        name, davg_pub, davg_twin = row[0], row[3], row[8]
+        assert davg_twin == pytest.approx(davg_pub, rel=0.03), name
+
+
+@pytest.mark.parametrize("name", list(SPECS))
+def test_bench_synthesize(benchmark, name):
+    dist = benchmark(SPECS[name].synthesize)
+    assert dist.is_graphical()

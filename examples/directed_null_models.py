@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Directed null graph models (the paper's Section I extension).
+
+Directed networks (citations, follows, food webs) need null models that
+preserve the *joint* (out, in) degree of every vertex [14].  This example
+runs the directed pipeline end-to-end:
+
+1. harvest the bidegree distribution of an "observed" digraph;
+2. realize it deterministically (Kleitman–Wang) and via the stochastic
+   pipeline (probabilities → edge skipping → directed swaps);
+3. use directed swaps to score reciprocity (mutual-arc pairs) against
+   the null distribution — the directed analogue of motif testing.
+
+Run: ``python examples/directed_null_models.py``
+"""
+
+import numpy as np
+
+from repro.directed import (
+    DirectedDegreeDistribution,
+    directed_generate_graph,
+    directed_swap_edges,
+    kleitman_wang_graph,
+    reciprocity,
+)
+from repro.directed.edgelist import DirectedEdgeList
+from repro.parallel.runtime import ParallelConfig
+
+config = ParallelConfig(threads=8, seed=14)
+
+
+# an "observed" digraph with engineered reciprocity: a random digraph
+# plus the reverses of half its arcs
+rng = np.random.default_rng(1)
+u = rng.integers(0, 150, 500)
+v = rng.integers(0, 150, 500)
+keep = u != v
+base = DirectedEdgeList(u[keep], v[keep], 150).simplify()
+half = base.m // 2
+observed = DirectedEdgeList(
+    np.concatenate([base.u, base.v[:half]]),
+    np.concatenate([base.v, base.u[:half]]),
+    150,
+).simplify()
+
+dist = DirectedDegreeDistribution.from_graph(observed)
+print(f"observed: {observed} reciprocity={reciprocity(observed):.3f}")
+print(f"bidegree distribution: {dist} digraphical={dist.is_digraphical()}")
+
+# deterministic realization
+kw = kleitman_wang_graph(dist)
+print(f"\nKleitman-Wang realization: {kw}, simple={kw.is_simple()}")
+
+# stochastic pipeline
+generated, report = directed_generate_graph(dist, swap_iterations=8, config=config)
+print(f"pipeline output: {generated}, simple={generated.is_simple()} "
+      f"(target m={dist.m}, acceptance={report.swap_stats.acceptance_rate:.2f})")
+
+# reciprocity significance: null models preserve all (out, in) degrees
+null_recips = []
+for s in range(30):
+    null = directed_swap_edges(observed, 8, config.with_seed(100 + s))
+    null_recips.append(reciprocity(null))
+mu, sigma = float(np.mean(null_recips)), float(np.std(null_recips))
+z = (reciprocity(observed) - mu) / sigma if sigma else float("inf")
+print(f"\nreciprocity: observed {reciprocity(observed):.3f}, "
+      f"null {mu:.3f} ± {sigma:.3f}, z = {z:+.1f}")
+print("-> reciprocity is a real feature, not a degree artifact" if z > 3
+      else "-> consistent with the null model")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Motif significance testing with null graph models.
+
+The paper's leading motivation: "motif finding for subgraph-based
+analytics, where a motif is a subgraph that appears more frequently
+relative to in uniformly random graphs" [23].  This example measures the
+triangle count of an observed clustered network, then scores it against
+the distribution of triangle counts over null models with the *same
+degree sequence* — the z-score that motif studies report.
+
+A clustered graph (two dense cliques joined by a bridge) should show a
+large positive triangle z-score; a graph that *is itself* a null model
+should not.
+
+Run: ``python examples/motif_significance.py``
+"""
+
+import numpy as np
+
+from repro import EdgeList, ParallelConfig, swap_edges
+from repro.graph.csr import triangle_count
+
+config = ParallelConfig(threads=8, seed=99)
+
+
+def clique(vertices) -> tuple[np.ndarray, np.ndarray]:
+    vertices = np.asarray(vertices)
+    iu, iv = np.triu_indices(len(vertices), k=1)
+    return vertices[iu], vertices[iv]
+
+
+def z_score(observed: EdgeList, *, null_samples: int = 30, mixing_iterations: int = 12) -> tuple[float, float, float]:
+    """Triangle z-score of ``observed`` against its null distribution."""
+    t_obs = triangle_count(observed)
+    counts = []
+    for s in range(null_samples):
+        null = swap_edges(observed, mixing_iterations, config.with_seed(1000 + s))
+        counts.append(triangle_count(null))
+    mu, sigma = float(np.mean(counts)), float(np.std(counts))
+    z = (t_obs - mu) / sigma if sigma > 0 else float("inf")
+    return t_obs, mu, z
+
+
+# Observed network: two 8-cliques bridged by a path — strongly clustered.
+u1, v1 = clique(np.arange(0, 8))
+u2, v2 = clique(np.arange(8, 16))
+bridge_u, bridge_v = np.asarray([7, 16]), np.asarray([16, 8])
+clustered = EdgeList(
+    np.concatenate([u1, u2, bridge_u]), np.concatenate([v1, v2, bridge_v])
+)
+
+t_obs, t_null, z = z_score(clustered)
+print("clustered two-clique network:")
+print(f"  triangles observed={t_obs}, null mean={t_null:.1f}, z-score={z:+.1f}")
+print("  -> strongly significant clustering (motif enriched)" if z > 3 else "  -> not significant")
+
+# Control: a graph that is already a null model of its own degrees.
+control = swap_edges(clustered, 20, config.with_seed(7))
+t_obs, t_null, z = z_score(control)
+print("\nrandomized control with identical degrees:")
+print(f"  triangles observed={t_obs}, null mean={t_null:.1f}, z-score={z:+.1f}")
+print("  -> as expected, not enriched" if abs(z) < 3 else "  -> unexpected enrichment!")

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Shared-memory vs distributed-memory swapping (Section VIII-C, live).
+
+The paper compares its shared-memory swap procedure against Bhuiyan et
+al.'s distributed-memory edge switching: same sampling problem, very
+different cost structure.  This example runs both on the same input —
+the distributed algorithm executes on this library's simulated
+message-passing substrate with exact message metering — and shows where
+the paper's order-of-magnitude gap comes from.
+
+Run: ``python examples/shared_vs_distributed.py``
+"""
+
+import time
+
+from repro.core.swap import SwapStats, swap_edges
+from repro.datasets import load
+from repro.distributed import AlphaBetaModel, distributed_swap_edges
+from repro.generators.havel_hakimi import havel_hakimi_graph
+from repro.parallel.runtime import ParallelConfig
+
+dist = load("LiveJournal")
+graph = havel_hakimi_graph(dist)
+config = ParallelConfig(threads=16, seed=8)
+print(f"instance: LiveJournal twin, n={graph.n}, m={graph.m}\n")
+
+# shared memory: zero messages, one hash table, one permutation
+stats = SwapStats()
+t0 = time.perf_counter()
+swap_edges(graph, 2, config, stats=stats)
+t_shared = time.perf_counter() - t0
+print("shared memory (the paper's algorithm):")
+print(f"  2 iterations in {t_shared:.2f} s, acceptance {stats.acceptance_rate:.3f}, "
+      f"network traffic: none")
+
+# distributed: same proposals, but every check crosses the network
+for ranks in (4, 16, 64):
+    t0 = time.perf_counter()
+    _, report = distributed_swap_edges(
+        graph, 2, ranks, config, model=AlphaBetaModel()
+    )
+    t_wall = time.perf_counter() - t0
+    print(f"\ndistributed on {ranks} ranks (Bhuiyan-style, simulated):")
+    print(f"  acceptance {report.acceptance_rate:.3f} (same sampling quality)")
+    print(f"  messages {report.comm.messages:,}, "
+          f"{report.items_per_edge_per_iteration:.1f} items/edge/iteration")
+    print(f"  simulator wall time {t_wall:.2f} s")
+
+print("\ntakeaway: identical statistics, but the distributed formulation "
+      "ships ~4 items per edge per iteration through the network — at "
+      "single-node scale the shared-memory algorithm wins outright, which "
+      "is the paper's Section VIII-C comparison (3 s on 16 cores vs 20 s "
+      "on 64 distributed processors).")

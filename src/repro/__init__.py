@@ -1,0 +1,54 @@
+"""repro — parallel generation of simple null graph models.
+
+A from-scratch Python reproduction of Garbus, Brissette & Slota,
+*Parallel Generation of Simple Null Graph Models* (IPPS 2020).
+
+Quickstart::
+
+    from repro import DegreeDistribution, generate_graph, ParallelConfig
+
+    dist = DegreeDistribution.from_degree_sequence([3, 3, 2, 2, 2, 1, 1])
+    graph, report = generate_graph(dist, swap_iterations=10,
+                                   config=ParallelConfig(threads=8, seed=1))
+    assert graph.is_simple()
+
+Public surface:
+
+- :class:`~repro.graph.degree.DegreeDistribution`,
+  :class:`~repro.graph.edgelist.EdgeList` — inputs and outputs;
+- :func:`~repro.core.generate.generate_graph` — Algorithm IV.1
+  end-to-end (degree distribution → simple uniform random graph);
+- :func:`~repro.core.swap.swap_edges` — Algorithm III.1 (null model from
+  an existing edge list);
+- :mod:`repro.generators` — the Chung-Lu / configuration / Havel-Hakimi
+  baselines of the paper's evaluation;
+- :mod:`repro.hierarchy` — LFR-like and general hierarchical generation
+  (Section VI);
+- :mod:`repro.datasets` — synthetic Table I dataset twins;
+- :mod:`repro.parallel` — the shared-memory substrate (hash table,
+  permutation, prefix sums, cost model).
+"""
+
+from repro.graph.degree import DegreeDistribution
+from repro.graph.edgelist import EdgeList
+from repro.parallel.runtime import ParallelConfig
+from repro.core.generate import generate_graph, GenerationReport
+from repro.core.swap import swap_edges, SwapStats
+from repro.core.probabilities import generate_probabilities, ProbabilityResult
+from repro.core.edge_skip import generate_edges
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DegreeDistribution",
+    "EdgeList",
+    "ParallelConfig",
+    "generate_graph",
+    "GenerationReport",
+    "swap_edges",
+    "SwapStats",
+    "generate_probabilities",
+    "ProbabilityResult",
+    "generate_edges",
+    "__version__",
+]

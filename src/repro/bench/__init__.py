@@ -1,0 +1,6 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from repro.bench.harness import Timer, format_table, ExperimentResult
+from repro.bench import experiments
+
+__all__ = ["Timer", "format_table", "ExperimentResult", "experiments"]

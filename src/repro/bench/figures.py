@@ -1,0 +1,101 @@
+"""Terminal rendering of experiment series — ASCII stand-ins for the
+paper's figures.
+
+The experiment drivers return numeric series; these helpers turn them
+into monospace line/bar charts so ``repro-experiments`` output reads
+like the paper's figures without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_line_chart", "ascii_bar_chart", "sparkline"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values) -> str:
+    """One-line sparkline of a numeric series."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return ""
+    lo, hi = float(values.min()), float(values.max())
+    if hi == lo:
+        return _SPARK[0] * len(values)
+    idx = ((values - lo) / (hi - lo) * (len(_SPARK) - 1)).round().astype(int)
+    return "".join(_SPARK[i] for i in idx)
+
+
+def ascii_bar_chart(labels, values, *, width: int = 40, title: str = "") -> str:
+    """Horizontal bar chart with one row per label."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines = [title] if title else []
+    if values.size == 0:
+        return "\n".join(lines + ["(empty)"])
+    peak = float(np.abs(values).max()) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    for label, val in zip(labels, values):
+        bar = "█" * max(1 if val else 0, int(round(abs(val) / peak * width)))
+        lines.append(f"{str(label):<{label_w}}  {bar} {val:g}")
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    x,
+    series: dict,
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Multi-series line chart on a character grid.
+
+    Each series gets a distinct marker; x values are mapped linearly to
+    columns, y values (optionally log-scaled) to rows.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "ox+*#@%&"
+    ys = {name: np.asarray(v, dtype=np.float64) for name, v in series.items()}
+    for name, v in ys.items():
+        if len(v) != len(x):
+            raise ValueError(f"series {name!r} length {len(v)} != x length {len(x)}")
+
+    all_y = np.concatenate(list(ys.values()))
+    if logy:
+        floor = max(all_y[all_y > 0].min() if (all_y > 0).any() else 1e-12, 1e-12)
+        transform = lambda v: np.log10(np.maximum(v, floor))
+        all_y = transform(all_y)
+        ys = {k: transform(v) for k, v in ys.items()}
+    lo, hi = float(all_y.min()), float(all_y.max())
+    if hi == lo:
+        hi = lo + 1.0
+    x_lo, x_hi = float(x.min()), float(x.max()) if len(x) > 1 else float(x.min()) + 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, v), marker in zip(ys.items(), markers):
+        cols = ((x - x_lo) / (x_hi - x_lo) * (width - 1)).round().astype(int)
+        rows = ((v - lo) / (hi - lo) * (height - 1)).round().astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+
+    lines = [title] if title else []
+    top = f"{(10**hi if logy else hi):.3g}"
+    bottom = f"{(10**lo if logy else lo):.3g}"
+    for i, row in enumerate(grid):
+        prefix = top if i == 0 else (bottom if i == height - 1 else "")
+        lines.append(f"{prefix:>9s} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(f"{'':10s}{x_lo:<10.3g}{'':{max(width - 20, 0)}}{x_hi:>10.3g}")
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(ys.items(), markers)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

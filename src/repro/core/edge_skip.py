@@ -1,0 +1,384 @@
+"""Parallel edge skipping (Algorithm IV.2).
+
+*Edge skipping* [4], [21] realizes a Bernoulli graph process — an
+independent coin flip of probability ``p`` on every possible edge — in
+O(#edges) instead of O(#pairs) work: walk the ordered space of possible
+edges in *skip lengths* drawn geometrically,
+``l = floor(log(r) / log(1 - p))``, selecting the edge landed on after
+each skip.  The skip walk is provably equivalent to flipping every coin.
+
+With class-pair probabilities ``P[i, j]`` (one per pair of degree
+classes, from :mod:`repro.core.probabilities` or the Chung-Lu closed
+form) there is one sample space per class pair: *rectangular* of size
+``N_i × N_j`` when i ≠ j and *triangular* of size ``N_i (N_i − 1) / 2``
+when i = j, so a simple graph is guaranteed by construction — each vertex
+pair is considered exactly once.  Offsets within a space map to global
+vertex ids through the prefix sums ``I`` of the class counts.
+
+Parallelization is over spaces (each thread takes a contiguous chunk of
+the flattened class-pair list, ``backend="process"`` runs chunks in
+worker processes), matching the paper's ``for k = 1 … |D|×|D| do in
+parallel``.  The vectorized engine additionally batches the long tail of
+small spaces through a round-synchronous sampler: every active space
+advances one skip per round, which performs the same total work
+Σ(count_s + 1) as per-space loops but in O(max_s count_s) numpy rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.degree import DegreeDistribution
+from repro.graph.edgelist import EdgeList
+from repro.parallel.cost_model import CostModel
+from repro.parallel.mp_backend import process_chunk_map
+from repro.parallel.rng import generator_from_seed, spawn_generators
+from repro.parallel.runtime import ParallelConfig, chunk_bounds
+
+__all__ = [
+    "skip_positions",
+    "generate_edges",
+    "triangle_unrank",
+    "sample_spaces",
+    "split_spaces",
+]
+
+#: spaces whose expected selection count exceeds this are sampled with the
+#: dedicated batched walk instead of the round-synchronous pool
+_LARGE_SPACE_THRESHOLD = 2048
+
+
+def skip_positions(p: float, end: int, rng) -> np.ndarray:
+    """Positions selected by a Bernoulli(p) process over ``range(end)``.
+
+    The single-space skip walk: equivalent in distribution to flipping an
+    independent coin of probability ``p`` at every position, in
+    O(p·end) expected work.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability out of range: {p}")
+    if end < 0:
+        raise ValueError(f"end must be >= 0, got {end}")
+    if end == 0 or p == 0.0:
+        return np.empty(0, dtype=np.int64)
+    if p >= 1.0:
+        return np.arange(end, dtype=np.int64)
+    rng = generator_from_seed(rng)
+    log1mp = np.log1p(-p)
+    out: list[np.ndarray] = []
+    x = np.int64(-1)  # last selected position
+    while True:
+        expect = (end - int(x)) * p
+        batch = int(expect + 4.0 * np.sqrt(expect + 1.0) + 16.0)
+        r = rng.random(batch)
+        skips = np.floor(np.log(r) / log1mp).astype(np.int64)
+        pos = x + np.cumsum(skips + 1)
+        inside = pos < end
+        if inside.all():
+            out.append(pos)
+            x = pos[-1]
+        else:
+            out.append(pos[inside])
+            break
+    return np.concatenate(out)
+
+
+def triangle_unrank(pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map 0-based positions in a triangular space to offset pairs (u, v).
+
+    The triangular space enumerates all pairs ``v < u`` within one class
+    in the order (1,0), (2,0), (2,1), (3,0), … — position ``x`` (1-based)
+    maps to ``u = ceil((−1 + sqrt(1 + 8x)) / 2)`` and
+    ``v = x − u(u−1)/2 − 1`` (Algorithm IV.2 lines 20–21, with the
+    well-known ``u(u−1)/2`` triangular offset).  Float round-off for huge
+    positions is repaired with an exact integer correction.
+    """
+    x = np.asarray(pos, dtype=np.int64) + 1  # 1-based rank
+    u = np.ceil((-1.0 + np.sqrt(1.0 + 8.0 * x.astype(np.float64))) / 2.0).astype(np.int64)
+    # integer correction: ensure u(u-1)/2 < x <= u(u+1)/2
+    over = (u * (u - 1)) // 2 >= x
+    u[over] -= 1
+    under = (u * (u + 1)) // 2 < x
+    u[under] += 1
+    v = x - (u * (u - 1)) // 2 - 1
+    return u, v
+
+
+def _space_table(P: np.ndarray, dist: DegreeDistribution) -> dict[str, np.ndarray]:
+    """Flatten the upper-triangular class pairs into space descriptors."""
+    k = dist.n_classes
+    if P.shape != (k, k):
+        raise ValueError(f"P must be ({k}, {k}), got {P.shape}")
+    if np.any(P < 0) or np.any(P > 1):
+        raise ValueError("probabilities must lie in [0, 1]")
+    if not np.allclose(P, P.T):
+        raise ValueError("P must be symmetric")
+    i_cls, j_cls = np.triu_indices(k)
+    counts = dist.counts
+    end = np.where(
+        i_cls == j_cls,
+        counts[i_cls] * (counts[i_cls] - 1) // 2,
+        counts[i_cls] * counts[j_cls],
+    ).astype(np.int64)
+    p = P[i_cls, j_cls]
+    keep = (p > 0) & (end > 0)
+    return {
+        "i": i_cls[keep],
+        "j": j_cls[keep],
+        "p": p[keep],
+        "end": end[keep],
+        "base": np.zeros(int(keep.sum()), dtype=np.int64),
+    }
+
+
+def split_spaces(table: dict[str, np.ndarray], max_size: int) -> dict[str, np.ndarray]:
+    """Split spaces larger than ``max_size`` into equal segments.
+
+    The paper: "Parallelization can be performed over the entirety of X,
+    where each thread determines some initial start and end offset pair
+    within the space …  such an approach is provably equivalent to a
+    general Bernoulli process".  Each segment keeps the parent's class
+    pair and probability; ``base`` records its start offset so positions
+    map back into the parent space.  Equivalence holds because the coin
+    flips are independent across positions.
+    """
+    if max_size < 1:
+        raise ValueError("max_size must be >= 1")
+    n_segments = np.maximum(1, -(-table["end"] // max_size))  # ceil div
+    total = int(n_segments.sum())
+    out = {
+        "i": np.empty(total, dtype=np.int64),
+        "j": np.empty(total, dtype=np.int64),
+        "p": np.empty(total, dtype=np.float64),
+        "end": np.empty(total, dtype=np.int64),
+        "base": np.empty(total, dtype=np.int64),
+    }
+    cursor = 0
+    for s in range(len(table["p"])):
+        segs = int(n_segments[s])
+        end = int(table["end"][s])
+        bounds = np.linspace(0, end, segs + 1, dtype=np.int64)
+        for g in range(segs):
+            out["i"][cursor] = table["i"][s]
+            out["j"][cursor] = table["j"][s]
+            out["p"][cursor] = table["p"][s]
+            out["end"][cursor] = bounds[g + 1] - bounds[g]
+            out["base"][cursor] = table["base"][s] + bounds[g]
+            cursor += 1
+    return out
+
+
+def _positions_to_edges(
+    space_ids: np.ndarray,
+    positions: np.ndarray,
+    table: dict[str, np.ndarray],
+    offsets: np.ndarray,
+    counts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convert (space, position) selections into global edge endpoints."""
+    i_cls = table["i"][space_ids]
+    j_cls = table["j"][space_ids]
+    base = table.get("base")
+    if base is not None:
+        positions = positions + base[space_ids]
+    diag = i_cls == j_cls
+    u_off = np.empty(len(positions), dtype=np.int64)
+    v_off = np.empty(len(positions), dtype=np.int64)
+    if diag.any():
+        tu, tv = triangle_unrank(positions[diag])
+        u_off[diag] = tu
+        v_off[diag] = tv
+    rect = ~diag
+    if rect.any():
+        nj = counts[j_cls[rect]]
+        u_off[rect] = positions[rect] // nj
+        v_off[rect] = positions[rect] % nj
+    u = offsets[i_cls] + u_off
+    v = offsets[j_cls] + v_off
+    return u, v
+
+
+def _sample_spaces(
+    table: dict[str, np.ndarray],
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Sample all spaces; returns (space_ids, positions, total_skips)."""
+    p = table["p"]
+    end = table["end"]
+    n_spaces = len(p)
+    if n_spaces == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64), 0
+
+    expected = p * end
+    large = (expected > _LARGE_SPACE_THRESHOLD) | (p >= 1.0)
+    total_skips = 0
+
+    ids_out: list[np.ndarray] = []
+    pos_out: list[np.ndarray] = []
+
+    # Large spaces: dedicated batched walks.
+    for s in np.flatnonzero(large):
+        pos = skip_positions(float(p[s]), int(end[s]), rng)
+        ids_out.append(np.full(len(pos), s, dtype=np.int64))
+        pos_out.append(pos)
+        total_skips += len(pos) + 1
+
+    # Small spaces: round-synchronous pool — every active space advances
+    # one geometric skip per round.
+    active = np.flatnonzero(~large)
+    if len(active):
+        x = np.full(len(active), -1, dtype=np.int64)
+        log1mp = np.log1p(-p[active])
+        live = np.arange(len(active))
+        while len(live):
+            r = rng.random(len(live))
+            skips = np.floor(np.log(r) / log1mp[live]).astype(np.int64)
+            x[live] = x[live] + skips + 1
+            total_skips += len(live)
+            inside = x[live] < end[active[live]]
+            hit = live[inside]
+            ids_out.append(active[hit])
+            pos_out.append(x[hit])
+            live = hit
+    if ids_out:
+        return np.concatenate(ids_out), np.concatenate(pos_out), total_skips
+    return np.empty(0, np.int64), np.empty(0, np.int64), total_skips
+
+
+def sample_spaces(
+    p: np.ndarray, end: np.ndarray, rng
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Run Bernoulli skip walks over many spaces at once.
+
+    Public wrapper around the hybrid large-space / round-synchronous
+    sampler, for generators (e.g. the directed pipeline) that define
+    their own space geometry.  Returns ``(space_ids, positions,
+    total_skips)``.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    end = np.asarray(end, dtype=np.int64)
+    if p.shape != end.shape or p.ndim != 1:
+        raise ValueError("p and end must be equal-length 1-D arrays")
+    if len(p) and (p.min() < 0 or p.max() > 1):
+        raise ValueError("probabilities must lie in [0, 1]")
+    keep = (p > 0) & (end > 0)
+    idx = np.flatnonzero(keep)
+    table = {"p": p[keep], "end": end[keep]}
+    ids, pos, skips = _sample_spaces(table, generator_from_seed(rng))
+    return idx[ids], pos, skips
+
+
+def _chunk_kernel(
+    lo: int,
+    hi: int,
+    seed: int,
+    i_cls: np.ndarray,
+    j_cls: np.ndarray,
+    p: np.ndarray,
+    end: np.ndarray,
+    base: np.ndarray,
+    offsets: np.ndarray,
+    counts: np.ndarray,
+) -> np.ndarray:
+    """Process-backend kernel: sample spaces [lo, hi), return (k, 2) edges."""
+    sub = {
+        "i": i_cls[lo:hi],
+        "j": j_cls[lo:hi],
+        "p": p[lo:hi],
+        "end": end[lo:hi],
+        "base": base[lo:hi],
+    }
+    rng = np.random.default_rng(seed)
+    ids, pos, _ = _sample_spaces(sub, rng)
+    u, v = _positions_to_edges(ids, pos, sub, offsets, counts)
+    return np.stack([u, v], axis=1)
+
+
+def generate_edges(
+    P: np.ndarray,
+    dist: DegreeDistribution,
+    config: ParallelConfig | None = None,
+    *,
+    cost: CostModel | None = None,
+    max_space_size: int | None = None,
+) -> EdgeList:
+    """Algorithm IV.2: realize class-pair probabilities by edge skipping.
+
+    Parameters
+    ----------
+    P:
+        Symmetric ``|D| × |D|`` matrix of pairwise class probabilities.
+    dist:
+        The target distribution (defines class sizes and the vertex
+        labelling).
+    cost:
+        Optional cost model; receives an ``"edge_generation"`` phase with
+        the exact skip-draw work and the paper's O(|D| + log n) depth.
+    max_space_size:
+        Split sample spaces larger than this into independent segments
+        (the paper's within-space parallelization; provably equivalent).
+        Defaults to no splitting for the vectorized/serial backends and
+        to a load-balancing split for ``backend="process"``.
+
+    Returns
+    -------
+    EdgeList
+        A simple graph (each vertex pair considered at most once).
+    """
+    config = config or ParallelConfig()
+    table = _space_table(np.asarray(P, dtype=np.float64), dist)
+    if max_space_size is None and config.backend == "process":
+        # balance chunks: no single space should dominate one worker
+        total = int(table["end"].sum())
+        if total:
+            max_space_size = max(total // (4 * config.threads), 1024)
+    if max_space_size is not None:
+        table = split_spaces(table, max_space_size)
+    offsets = dist.class_offsets(config)
+    counts = dist.counts
+    n_spaces = len(table["p"])
+
+    if config.backend == "process" and n_spaces > 1:
+        chunks = process_chunk_map(
+            _chunk_kernel,
+            n_spaces,
+            config,
+            table["i"],
+            table["j"],
+            table["p"],
+            table["end"],
+            table["base"],
+            offsets,
+            counts,
+        )
+        pairs = (
+            np.concatenate(chunks, axis=0)
+            if chunks
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        u, v = pairs[:, 0], pairs[:, 1]
+        total_skips = len(u) + n_spaces  # lower-bound accounting
+    elif config.backend == "serial":
+        # straight per-space reference loop
+        rng = config.generator()
+        us: list[np.ndarray] = []
+        vs: list[np.ndarray] = []
+        total_skips = 0
+        for s in range(n_spaces):
+            pos = skip_positions(float(table["p"][s]), int(table["end"][s]), rng)
+            ids = np.full(len(pos), s, dtype=np.int64)
+            uu, vv = _positions_to_edges(ids, pos, table, offsets, counts)
+            us.append(uu)
+            vs.append(vv)
+            total_skips += len(pos) + 1
+        u = np.concatenate(us) if us else np.empty(0, np.int64)
+        v = np.concatenate(vs) if vs else np.empty(0, np.int64)
+    else:
+        rng = config.generator()
+        ids, pos, total_skips = _sample_spaces(table, rng)
+        u, v = _positions_to_edges(ids, pos, table, offsets, counts)
+
+    if cost is not None:
+        depth = dist.n_classes + np.log2(max(dist.n, 2))
+        cost.add("edge_generation", work=float(total_skips), depth=float(depth))
+    return EdgeList(u, v, dist.n)

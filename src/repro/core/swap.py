@@ -1,0 +1,314 @@
+"""Parallel double-edge swaps (Algorithm III.1).
+
+A *double-edge swap* takes two edges ``e = {u,v}``, ``f = {x,y}`` and
+rewires them to ``{u,x}, {v,y}`` or ``{u,y}, {v,x}`` (chosen by coin
+flip).  Swaps preserve every vertex degree; performing many randomly
+chosen swaps as an MCMC walk samples (after mixing) uniformly from the
+simple-graph space of the degree sequence — the only practical route to
+unbiased simple null models [2].
+
+The parallel procedure per iteration:
+
+1. insert every current edge into the concurrent hash table
+   (thread-safe ``TestAndSet``);
+2. permute the edge list with the reservation-based parallel permutation
+   (Shun et al.);
+3. each adjacent pair ``(E[i], E[i+1])`` (i even) proposes one swap:
+   flip the orientation coin, then ``TestAndSet(g)``, ``TestAndSet(h)``
+   (short-circuit: h is only attempted when g was absent) and a
+   self-loop check; on any failure the pair keeps its original edges;
+4. clear the table.
+
+Two fidelity details are preserved exactly:
+
+- **no rollback** — keys inserted by failed proposals stay in the table
+  for the rest of the iteration, so a later pair proposing the same edge
+  fails conservatively (this never violates simplicity; it only wastes a
+  proposal, which is why the paper counts "failed" swaps);
+- **the table is a superset of the live edge set** — vacated originals
+  are never deleted within an iteration, again conservative.
+
+The vectorized engine executes one legal concurrent schedule: all g
+insertions as one batch round, then all surviving h insertions.  Batched
+``TestAndSet`` resolves same-slot races exactly like the lock-free table
+would (lowest index wins deterministically).
+
+Multigraph inputs are legal: the O(m) Chung-Lu output is "simplified" by
+repeated swap iterations (Section VIII-A) because duplicate copies and
+self loops can only be swapped *away* (any proposal that would create an
+existing edge or loop fails).  :class:`SwapStats` tracks exactly the
+quantities the paper reports — per-iteration success rates, the fraction
+of edges successfully swapped at least once, and the remaining
+multi-edge/self-loop counts.
+
+:func:`serial_swap_chain` is the textbook sequential MCMC (uniform random
+edge pairs, one at a time) used for the Milo et al. uniformity
+validation, where its simple reversible-chain structure makes the
+stationary distribution provably uniform.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.parallel.cost_model import CostModel
+from repro.parallel.hashtable import ConcurrentEdgeHashTable, pack_edges
+from repro.parallel.permutation import (
+    PermutationStats,
+    fisher_yates_permutation,
+    parallel_permutation,
+)
+from repro.parallel.rng import generator_from_seed
+from repro.parallel.runtime import ParallelConfig
+
+__all__ = ["SwapStats", "swap_edges", "serial_swap_chain"]
+
+
+@dataclass
+class SwapStats:
+    """Execution statistics of a :func:`swap_edges` run."""
+
+    iterations: int = 0
+    proposed: int = 0
+    accepted: int = 0
+    #: proposals rejected because a new edge already existed (multi-edge)
+    rejected_duplicate: int = 0
+    #: proposals rejected because a new edge was a self loop
+    rejected_self_loop: int = 0
+    #: per-iteration acceptance counts
+    accepted_per_iteration: list[int] = field(default_factory=list)
+    #: per-iteration fraction of edges that have swapped at least once
+    swapped_fraction_per_iteration: list[float] = field(default_factory=list)
+    #: hash-table contention across iterations
+    table_failures: int = 0
+    table_attempts: int = 0
+    permutation_rounds: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of proposals accepted."""
+        return self.accepted / self.proposed if self.proposed else 0.0
+
+    @property
+    def swapped_fraction(self) -> float:
+        """Final fraction of edges successfully swapped at least once."""
+        if not self.swapped_fraction_per_iteration:
+            return 0.0
+        return self.swapped_fraction_per_iteration[-1]
+
+
+def swap_edges(
+    graph: EdgeList,
+    iterations: int,
+    config: ParallelConfig | None = None,
+    *,
+    probing: str = "linear",
+    space: str = "simple",
+    stats: SwapStats | None = None,
+    cost: CostModel | None = None,
+    callback=None,
+) -> EdgeList:
+    """Run ``iterations`` full parallel swap iterations over ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Input edge list (may contain self loops / multi-edges; they can
+        only be destroyed, never created — in the default space).
+    iterations:
+        Number of full passes (each pass proposes ~m/2 swaps).
+    probing:
+        Hash-table probing scheme, ``"linear"`` or ``"quadratic"``.
+    space:
+        The null-model space [16] the chain walks in:
+
+        - ``"simple"`` (default) — no self loops, no multi-edges; the
+          paper's setting.
+        - ``"loopy"`` — self loops allowed, multi-edges rejected.
+        - ``"multigraph"`` — multi-edges allowed, self loops rejected.
+        - ``"loopy_multigraph"`` — every proposal accepted (the chain
+          mixes over all stub matchings; no hash table needed).
+    stats:
+        Optional :class:`SwapStats` accumulator.
+    cost:
+        Optional cost model; receives per-iteration ``"permutation"`` and
+        ``"swap"`` phases.
+    callback:
+        Optional ``callback(iteration, edge_list)`` invoked after every
+        iteration — used by the mixing experiments to snapshot
+        convergence without re-running.
+
+    Returns
+    -------
+    EdgeList
+        A new edge list with the same degree sequence.
+    """
+    config = config or ParallelConfig()
+    if iterations < 0:
+        raise ValueError("iterations must be >= 0")
+    spaces = ("simple", "loopy", "multigraph", "loopy_multigraph")
+    if space not in spaces:
+        raise ValueError(f"space must be one of {spaces}, got {space!r}")
+    check_duplicates = space in ("simple", "loopy")
+    check_loops = space in ("simple", "multigraph")
+    rng = config.generator()
+    u = graph.u.copy()
+    v = graph.v.copy()
+    m = len(u)
+    n_pairs = m // 2
+    swapped = np.zeros(m, dtype=bool)
+
+    table = ConcurrentEdgeHashTable(2 * m + 16, probing=probing)
+
+    for it in range(iterations):
+        t0 = time.perf_counter()
+        table.clear()
+        attempts_before = table.stats.attempts
+        failures_before = table.stats.failures
+        # Phase 1: register all current edges (duplicate-checked spaces).
+        if check_duplicates:
+            table.test_and_set(pack_edges(u, v))
+
+        # Phase 2: parallel permutation of the edge list.
+        perm_stats = PermutationStats()
+        order = parallel_permutation(
+            np.arange(m, dtype=np.int64),
+            config.with_seed(int(rng.integers(0, 2**63))),
+            stats=perm_stats,
+        )
+        u = u[order]
+        v = v[order]
+        swapped = swapped[order]
+
+        # Phase 3: propose swaps on adjacent pairs.
+        accepted = 0
+        if n_pairs:
+            eu, ev = u[0 : 2 * n_pairs : 2], v[0 : 2 * n_pairs : 2]
+            fu, fv = u[1 : 2 * n_pairs : 2], v[1 : 2 * n_pairs : 2]
+            coin = rng.random(n_pairs) < 0.5
+            # g = {u, x}, h = {v, y}  or  g = {u, y}, h = {v, x}
+            # (materialized copies: eu/ev are views into the arrays the
+            # apply step mutates below)
+            gu, gv = eu.copy(), np.where(coin, fu, fv)
+            hu, hv = ev.copy(), np.where(coin, fv, fu)
+
+            loop_g = gu == gv
+            loop_h = hu == hv
+
+            if check_duplicates:
+                g_present = table.test_and_set(pack_edges(gu, gv))
+                # short-circuit: h only attempted when g was absent
+                h_try = ~g_present
+                h_present = np.ones(n_pairs, dtype=bool)
+                if h_try.any():
+                    h_present[h_try] = table.test_and_set(
+                        pack_edges(hu[h_try], hv[h_try])
+                    )
+            else:
+                g_present = np.zeros(n_pairs, dtype=bool)
+                h_present = np.zeros(n_pairs, dtype=bool)
+            ok = ~g_present & ~h_present
+            if check_loops:
+                ok &= ~loop_g & ~loop_h
+
+            idx = np.flatnonzero(ok)
+            u[2 * idx] = gu[idx]
+            v[2 * idx] = gv[idx]
+            u[2 * idx + 1] = hu[idx]
+            v[2 * idx + 1] = hv[idx]
+            swapped[2 * idx] = True
+            swapped[2 * idx + 1] = True
+            accepted = len(idx)
+
+            if stats is not None:
+                stats.proposed += n_pairs
+                stats.accepted += accepted
+                # classify rejections: self loops take precedence in the
+                # report; remaining failures are duplicate edges
+                rej = ~ok
+                if check_loops:
+                    loops = rej & (loop_g | loop_h)
+                else:
+                    loops = np.zeros(n_pairs, dtype=bool)
+                stats.rejected_self_loop += int(loops.sum())
+                stats.rejected_duplicate += int((rej & ~loops).sum())
+
+        if stats is not None:
+            stats.iterations += 1
+            stats.accepted_per_iteration.append(accepted)
+            stats.swapped_fraction_per_iteration.append(
+                float(swapped.mean()) if m else 0.0
+            )
+            stats.table_attempts = table.stats.attempts
+            stats.table_failures = table.stats.failures
+            stats.permutation_rounds += perm_stats.rounds
+        if cost is not None:
+            elapsed = time.perf_counter() - t0
+            logm = np.log2(max(m, 2))
+            cost.add("permutation", work=float(perm_stats.attempts * 2), depth=float(perm_stats.rounds), seconds=elapsed * 0.4)
+            cost.add("swap", work=float(2 * m), depth=float(4 + (table.stats.failures - failures_before > 0)), seconds=elapsed * 0.6)
+        if callback is not None:
+            callback(it, EdgeList(u.copy(), v.copy(), graph.n))
+
+    return EdgeList(u, v, graph.n)
+
+
+def serial_swap_chain(
+    graph: EdgeList,
+    steps: int,
+    rng=None,
+    *,
+    on_step=None,
+) -> EdgeList:
+    """Textbook sequential double-edge-swap MCMC.
+
+    Each step draws an ordered pair of distinct edge slots uniformly,
+    flips the orientation coin, and applies the swap iff both new edges
+    are absent and loop-free (otherwise the chain *stays*, keeping the
+    transition matrix symmetric and hence the stationary distribution
+    uniform over the connected state space).  Used by the uniformity
+    validation tests (Milo et al. [22] style).
+
+    ``on_step(step, u, v)`` is called after every step when given.
+    """
+    rng = generator_from_seed(rng)
+    u = graph.u.copy()
+    v = graph.v.copy()
+    m = len(u)
+    if m < 2:
+        return EdgeList(u, v, graph.n)
+    edge_set = set(pack_edges(u, v).tolist())
+
+    for step in range(steps):
+        i = int(rng.integers(0, m))
+        j = int(rng.integers(0, m - 1))
+        if j >= i:
+            j += 1
+        a, b = int(u[i]), int(v[i])
+        c, d = int(u[j]), int(v[j])
+        if rng.random() < 0.5:
+            g = (a, c)
+            h = (b, d)
+        else:
+            g = (a, d)
+            h = (b, c)
+        if g[0] != g[1] and h[0] != h[1]:
+            gk = int(pack_edges(np.asarray([g[0]]), np.asarray([g[1]]))[0])
+            hk = int(pack_edges(np.asarray([h[0]]), np.asarray([h[1]]))[0])
+            if gk != hk and gk not in edge_set and hk not in edge_set:
+                ek = int(pack_edges(np.asarray([a]), np.asarray([b]))[0])
+                fk = int(pack_edges(np.asarray([c]), np.asarray([d]))[0])
+                edge_set.discard(ek)
+                edge_set.discard(fk)
+                edge_set.add(gk)
+                edge_set.add(hk)
+                u[i], v[i] = g
+                u[j], v[j] = h
+        if on_step is not None:
+            on_step(step, u, v)
+
+    return EdgeList(u, v, graph.n)

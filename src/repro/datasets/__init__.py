@@ -1,0 +1,20 @@
+"""Synthetic degree-distribution datasets calibrated to the paper's Table I."""
+
+from repro.datasets.synthetic import (
+    deterministic_powerlaw,
+    sampled_powerlaw,
+    fix_parity,
+    as733_like,
+)
+from repro.datasets.catalog import DatasetSpec, SPECS, load, available
+
+__all__ = [
+    "deterministic_powerlaw",
+    "sampled_powerlaw",
+    "fix_parity",
+    "as733_like",
+    "DatasetSpec",
+    "SPECS",
+    "load",
+    "available",
+]

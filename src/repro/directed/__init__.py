@@ -1,0 +1,71 @@
+"""Directed null graph models (the paper's Section I extension).
+
+The paper notes its results "can be extrapolated to directed graphs with
+certain considerations [14], [15]" (Durak et al.'s scalable directed
+null models; Erdős–Miklós–Toroczkai's directed Havel–Hakimi).  This
+subpackage is that extrapolation, mirroring the undirected pipeline:
+
+- :class:`~repro.directed.edgelist.DirectedEdgeList` — arc container
+  with directed simplicity (no self loops, no duplicate arcs; antiparallel
+  arcs are legal);
+- :class:`~repro.directed.degree.DirectedDegreeDistribution` — joint
+  (out, in) degree classes with the directed graphicality test;
+- :func:`~repro.directed.havel_hakimi.kleitman_wang_graph` — the directed
+  Havel–Hakimi realization [15];
+- :func:`~repro.directed.swap.directed_swap_edges` — parallel directed
+  double-edge swaps (the unique rewiring (a→b),(c→d) ⇒ (a→d),(c→b)
+  preserves every in- and out-degree);
+- :func:`~repro.directed.chung_lu.directed_chung_lu_om` — the directed
+  O(m) model (sources by out-weight, targets by in-weight) and erased
+  variant;
+- :func:`~repro.directed.probabilities.directed_probabilities` +
+  :func:`~repro.directed.edge_skip.directed_generate_edges` — the
+  free-stub heuristic and edge-skipping realizer over (source class,
+  target class) rectangles;
+- :func:`~repro.directed.generate.directed_generate_graph` — the
+  end-to-end Algorithm IV.1 analogue.
+"""
+
+from repro.directed.edgelist import DirectedEdgeList, pack_arcs, unpack_arcs
+from repro.directed.degree import DirectedDegreeDistribution, is_digraphical
+from repro.directed.havel_hakimi import kleitman_wang_graph
+from repro.directed.swap import directed_swap_edges, DirectedSwapStats
+from repro.directed.chung_lu import directed_chung_lu_om, directed_erased_chung_lu
+from repro.directed.probabilities import directed_probabilities, DirectedProbabilityResult
+from repro.directed.edge_skip import directed_generate_edges
+from repro.directed.generate import directed_generate_graph
+from repro.directed.stats import (
+    reciprocity,
+    mutual_arc_count,
+    in_out_degree_correlation,
+)
+from repro.directed.io import (
+    save_arc_list,
+    load_arc_list,
+    save_bidegree_distribution,
+    load_bidegree_distribution,
+)
+
+__all__ = [
+    "DirectedEdgeList",
+    "pack_arcs",
+    "unpack_arcs",
+    "DirectedDegreeDistribution",
+    "is_digraphical",
+    "kleitman_wang_graph",
+    "directed_swap_edges",
+    "DirectedSwapStats",
+    "directed_chung_lu_om",
+    "directed_erased_chung_lu",
+    "directed_probabilities",
+    "DirectedProbabilityResult",
+    "directed_generate_edges",
+    "directed_generate_graph",
+    "reciprocity",
+    "mutual_arc_count",
+    "in_out_degree_correlation",
+    "save_arc_list",
+    "load_arc_list",
+    "save_bidegree_distribution",
+    "load_bidegree_distribution",
+]

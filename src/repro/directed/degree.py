@@ -1,0 +1,163 @@
+"""Joint (out, in) degree distributions and directed graphicality.
+
+Durak et al. [14] make the case that a directed null model must match
+the *joint* bidegree distribution — the number of vertices with each
+(out, in) pair — not the two marginals separately.  A
+:class:`DirectedDegreeDistribution` is exactly that object: unique
+(out, in) pairs with vertex counts, ordered lexicographically, with the
+same prefix-sum vertex labelling the undirected pipeline uses.
+
+Graphicality of a bidegree sequence is the Fulkerson–Chen–Anstee
+condition; :func:`is_digraphical` implements it directly (quadratic,
+fine at test scale), while the constructive Kleitman–Wang realization in
+:mod:`repro.directed.havel_hakimi` serves as the scalable test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.prefix import prefix_sum
+
+__all__ = ["DirectedDegreeDistribution", "is_digraphical"]
+
+
+def is_digraphical(out_degrees, in_degrees) -> bool:
+    """Fulkerson–Chen–Anstee: is the bidegree sequence realizable?
+
+    With pairs sorted by out-degree descending (in-degree descending as
+    tie-break), for every k:
+
+        Σ_{i≤k} out_i ≤ Σ_{i≤k} min(in_i, k−1) + Σ_{i>k} min(in_i, k)
+    """
+    d_out = np.asarray(out_degrees, dtype=np.int64)
+    d_in = np.asarray(in_degrees, dtype=np.int64)
+    if d_out.shape != d_in.shape or d_out.ndim != 1:
+        raise ValueError("out/in sequences must be equal-length 1-D arrays")
+    n = len(d_out)
+    if n == 0:
+        return True
+    if d_out.min() < 0 or d_in.min() < 0:
+        return False
+    if d_out.sum() != d_in.sum():
+        return False
+    if d_out.max() >= n or d_in.max() >= n:
+        return False
+    order = np.lexsort((-d_in, -d_out))
+    a = d_out[order]
+    b = d_in[order]
+    lhs = np.cumsum(a)
+    # quadratic evaluation; bidegree tests run at moderate n
+    for k in range(1, n + 1):
+        rhs = np.minimum(b[:k], k - 1).sum() + np.minimum(b[k:], k).sum()
+        if lhs[k - 1] > rhs:
+            return False
+    return True
+
+
+class DirectedDegreeDistribution:
+    """Joint bidegree distribution: unique (out, in) pairs with counts."""
+
+    __slots__ = ("out_degrees", "in_degrees", "counts")
+
+    def __init__(self, out_degrees, in_degrees, counts) -> None:
+        self.out_degrees = np.ascontiguousarray(out_degrees, dtype=np.int64)
+        self.in_degrees = np.ascontiguousarray(in_degrees, dtype=np.int64)
+        self.counts = np.ascontiguousarray(counts, dtype=np.int64)
+        if not (
+            self.out_degrees.shape == self.in_degrees.shape == self.counts.shape
+        ) or self.out_degrees.ndim != 1:
+            raise ValueError("out_degrees, in_degrees, counts must be equal-length 1-D")
+        if self.counts.size:
+            if np.any(self.counts <= 0):
+                raise ValueError("counts must be positive")
+            if np.any(self.out_degrees < 0) or np.any(self.in_degrees < 0):
+                raise ValueError("degrees must be non-negative")
+            pairs = self.out_degrees * (2**32) + self.in_degrees
+            if np.any(np.diff(pairs) <= 0):
+                raise ValueError("(out, in) pairs must be strictly increasing (lex)")
+            if np.any((self.out_degrees == 0) & (self.in_degrees == 0)):
+                raise ValueError("the (0, 0) class is omitted by convention")
+            if self.out_stubs() != self.in_stubs():
+                raise ValueError(
+                    f"out-stub total {self.out_stubs()} != in-stub total {self.in_stubs()}"
+                )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_sequences(cls, out_seq, in_seq) -> "DirectedDegreeDistribution":
+        """Collapse per-vertex (out, in) sequences ((0,0) vertices dropped)."""
+        out_seq = np.asarray(out_seq, dtype=np.int64)
+        in_seq = np.asarray(in_seq, dtype=np.int64)
+        if out_seq.shape != in_seq.shape:
+            raise ValueError("sequences must have equal length")
+        keep = (out_seq > 0) | (in_seq > 0)
+        pairs = np.stack([out_seq[keep], in_seq[keep]], axis=1)
+        unique, counts = np.unique(pairs, axis=0, return_counts=True)
+        return cls(unique[:, 0], unique[:, 1], counts)
+
+    @classmethod
+    def from_graph(cls, graph) -> "DirectedDegreeDistribution":
+        """Bidegree distribution of a :class:`DirectedEdgeList`."""
+        return cls.from_sequences(graph.out_degrees(), graph.in_degrees())
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def n_classes(self) -> int:
+        """Number of unique (out, in) pairs."""
+        return len(self.counts)
+
+    @property
+    def n(self) -> int:
+        """Number of vertices (with at least one stub)."""
+        return int(self.counts.sum())
+
+    def out_stubs(self) -> int:
+        """Total out-degree — the number of arcs m."""
+        return int((self.out_degrees * self.counts).sum())
+
+    def in_stubs(self) -> int:
+        """Total in-degree (must equal :meth:`out_stubs`)."""
+        return int((self.in_degrees * self.counts).sum())
+
+    @property
+    def m(self) -> int:
+        """Number of arcs implied by the distribution."""
+        return self.out_stubs()
+
+    def expand(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-vertex (out, in) sequences under the class labelling."""
+        return (
+            np.repeat(self.out_degrees, self.counts),
+            np.repeat(self.in_degrees, self.counts),
+        )
+
+    def class_offsets(self) -> np.ndarray:
+        """Prefix sums: class k owns vertex ids I[k] … I[k+1]-1."""
+        return prefix_sum(self.counts)
+
+    def is_digraphical(self) -> bool:
+        """Fulkerson–Chen–Anstee on the expanded sequence."""
+        out_seq, in_seq = self.expand()
+        return is_digraphical(out_seq, in_seq)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, DirectedDegreeDistribution)
+            and np.array_equal(self.out_degrees, other.out_degrees)
+            and np.array_equal(self.in_degrees, other.in_degrees)
+            and np.array_equal(self.counts, other.counts)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return hash(
+            (self.out_degrees.tobytes(), self.in_degrees.tobytes(), self.counts.tobytes())
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectedDegreeDistribution(n={self.n}, m={self.m}, "
+            f"classes={self.n_classes})"
+        )

@@ -1,0 +1,90 @@
+"""Directed edge skipping over (source class, target class) rectangles.
+
+Algorithm IV.2 adapted to arcs: one sample space per *ordered* class
+pair — a full ``n_k × n_l`` rectangle when k ≠ l and the off-diagonal
+``n_k (n_k − 1)`` rectangle (self loops skipped by construction) when
+k = l.  The skip walks themselves are shared with the undirected
+generator (:func:`repro.core.edge_skip.sample_spaces`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.edge_skip import sample_spaces
+from repro.directed.degree import DirectedDegreeDistribution
+from repro.directed.edgelist import DirectedEdgeList
+from repro.parallel.runtime import ParallelConfig
+
+__all__ = ["directed_generate_edges", "offdiag_unrank"]
+
+
+def offdiag_unrank(pos: np.ndarray, size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Map positions in the loop-free square to ordered pairs (a, b), a≠b.
+
+    The space enumerates, for each source offset ``a`` in a class of
+    ``size`` vertices, its ``size − 1`` possible targets in order with
+    itself skipped: position ``a (size−1) + r`` maps to target
+    ``r + [r ≥ a]``.
+    """
+    pos = np.asarray(pos, dtype=np.int64)
+    if size < 2 and len(pos):
+        raise ValueError("loop-free pairs need size >= 2")
+    a = pos // (size - 1)
+    r = pos % (size - 1)
+    b = r + (r >= a)
+    return a, b
+
+
+def directed_generate_edges(
+    P: np.ndarray,
+    dist: DirectedDegreeDistribution,
+    config: ParallelConfig | None = None,
+) -> DirectedEdgeList:
+    """Realize class-pair arc probabilities by edge skipping.
+
+    Returns a simple directed graph: each ordered vertex pair (u, v),
+    u ≠ v, is considered exactly once with probability ``P[class(u),
+    class(v)]``.
+    """
+    config = config or ParallelConfig()
+    k = dist.n_classes
+    P = np.asarray(P, dtype=np.float64)
+    if P.shape != (k, k):
+        raise ValueError(f"P must be ({k}, {k}), got {P.shape}")
+    if k == 0:
+        return DirectedEdgeList(np.empty(0, np.int64), np.empty(0, np.int64), 0)
+    if np.any(P < 0) or np.any(P > 1):
+        raise ValueError("probabilities must lie in [0, 1]")
+
+    counts = dist.counts
+    src_cls, dst_cls = np.divmod(np.arange(k * k, dtype=np.int64), k)
+    end = counts[src_cls] * counts[dst_cls]
+    diag = src_cls == dst_cls
+    end[diag] -= counts[src_cls[diag]]  # exclude self loops
+    p_flat = P.reshape(-1)
+
+    ids, pos, _ = sample_spaces(p_flat, end, config.generator())
+    sk = src_cls[ids]
+    dk = dst_cls[ids]
+    offsets = dist.class_offsets()
+
+    u_off = np.empty(len(pos), dtype=np.int64)
+    v_off = np.empty(len(pos), dtype=np.int64)
+    on_diag = sk == dk
+    if on_diag.any():
+        # per-class unrank (sizes differ between classes)
+        for cls in np.unique(sk[on_diag]):
+            mask = on_diag & (sk == cls)
+            a, b = offdiag_unrank(pos[mask], int(counts[cls]))
+            u_off[mask] = a
+            v_off[mask] = b
+    rect = ~on_diag
+    if rect.any():
+        nl = counts[dk[rect]]
+        u_off[rect] = pos[rect] // nl
+        v_off[rect] = pos[rect] % nl
+
+    u = offsets[sk] + u_off
+    v = offsets[dk] + v_off
+    return DirectedEdgeList(u, v, dist.n)

@@ -1,0 +1,114 @@
+"""Directed edge-list container.
+
+An *arc* is an ordered pair ``u → v``.  Directed simplicity forbids self
+loops and duplicate arcs; the antiparallel pair ``u → v`` / ``v → u`` is
+two distinct legal arcs.  Arc identity therefore packs the endpoints
+*without* canonicalization: source in the high 32 bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DirectedEdgeList", "pack_arcs", "unpack_arcs"]
+
+_MAX_VERTEX = np.int64(2**32 - 1)
+
+
+def pack_arcs(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Pack ordered arcs ``u → v`` into 64-bit keys (order-sensitive)."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if u.size and (u.min() < 0 or v.min() < 0):
+        raise ValueError("vertex ids must be non-negative")
+    if u.size and (u.max() > _MAX_VERTEX or v.max() > _MAX_VERTEX):
+        raise ValueError("vertex ids must fit in 32 bits")
+    return (u << np.int64(32)) | v
+
+
+def unpack_arcs(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_arcs`."""
+    keys = np.asarray(keys, dtype=np.int64)
+    return keys >> np.int64(32), keys & np.int64(0xFFFFFFFF)
+
+
+class DirectedEdgeList:
+    """A directed graph stored as parallel source/target arrays."""
+
+    __slots__ = ("u", "v", "n")
+
+    def __init__(self, u, v, n: int | None = None) -> None:
+        self.u = np.ascontiguousarray(u, dtype=np.int64)
+        self.v = np.ascontiguousarray(v, dtype=np.int64)
+        if self.u.shape != self.v.shape or self.u.ndim != 1:
+            raise ValueError("u and v must be equal-length 1-D arrays")
+        if self.u.size and min(self.u.min(), self.v.min()) < 0:
+            raise ValueError("vertex ids must be non-negative")
+        inferred = int(max(self.u.max(), self.v.max())) + 1 if self.u.size else 0
+        self.n = int(n) if n is not None else inferred
+        if self.n < inferred:
+            raise ValueError(f"n={n} smaller than max vertex id {inferred - 1}")
+
+    @property
+    def m(self) -> int:
+        """Number of arcs."""
+        return len(self.u)
+
+    def __len__(self) -> int:
+        return self.m
+
+    def __repr__(self) -> str:
+        return f"DirectedEdgeList(n={self.n}, m={self.m})"
+
+    def copy(self) -> "DirectedEdgeList":
+        """Deep copy."""
+        return DirectedEdgeList(self.u.copy(), self.v.copy(), self.n)
+
+    @classmethod
+    def from_keys(cls, keys: np.ndarray, n: int | None = None) -> "DirectedEdgeList":
+        """Build from packed arc keys."""
+        u, v = unpack_arcs(keys)
+        return cls(u, v, n)
+
+    def keys(self) -> np.ndarray:
+        """Packed 64-bit key per arc (order-sensitive)."""
+        return pack_arcs(self.u, self.v)
+
+    # -- simplicity ------------------------------------------------------
+
+    def count_self_loops(self) -> int:
+        """Number of ``u → u`` arcs."""
+        return int((self.u == self.v).sum())
+
+    def count_multi_arcs(self) -> int:
+        """Number of surplus duplicate arcs (each extra copy counts)."""
+        if self.m == 0:
+            return 0
+        _, counts = np.unique(self.keys(), return_counts=True)
+        return int((counts - 1).sum())
+
+    def is_simple(self) -> bool:
+        """No self loops, no duplicate arcs (antiparallel pairs allowed)."""
+        return self.count_self_loops() == 0 and self.count_multi_arcs() == 0
+
+    def simplify(self) -> "DirectedEdgeList":
+        """Erased projection: drop loops and duplicate arcs."""
+        keep = self.u != self.v
+        unique = np.unique(pack_arcs(self.u[keep], self.v[keep]))
+        return DirectedEdgeList.from_keys(unique, self.n)
+
+    # -- degrees ---------------------------------------------------------
+
+    def out_degrees(self) -> np.ndarray:
+        """Per-vertex out-degree."""
+        return np.bincount(self.u, minlength=self.n).astype(np.int64)
+
+    def in_degrees(self) -> np.ndarray:
+        """Per-vertex in-degree."""
+        return np.bincount(self.v, minlength=self.n).astype(np.int64)
+
+    def same_graph(self, other: "DirectedEdgeList") -> bool:
+        """True iff both lists describe the same arc *set*."""
+        if self.n != other.n:
+            return False
+        return np.array_equal(np.unique(self.keys()), np.unique(other.keys()))

@@ -1,0 +1,70 @@
+"""File I/O for directed edge lists and bidegree distributions."""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.directed.degree import DirectedDegreeDistribution
+from repro.directed.edgelist import DirectedEdgeList
+
+__all__ = [
+    "save_arc_list",
+    "load_arc_list",
+    "save_bidegree_distribution",
+    "load_bidegree_distribution",
+]
+
+
+def save_arc_list(graph: DirectedEdgeList, path) -> None:
+    """Write arcs; format chosen by extension (``.npz`` or text)."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        np.savez_compressed(path, u=graph.u, v=graph.v, n=np.int64(graph.n))
+    else:
+        with path.open("w") as fh:
+            fh.write(f"# directed n={graph.n} m={graph.m}\n")
+            np.savetxt(fh, np.stack([graph.u, graph.v], axis=1), fmt="%d")
+
+
+def load_arc_list(path) -> DirectedEdgeList:
+    """Read arcs written by :func:`save_arc_list`."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        with np.load(path) as data:
+            return DirectedEdgeList(data["u"], data["v"], int(data["n"]))
+    n = None
+    with path.open() as fh:
+        first = fh.readline()
+        if first.startswith("#") and "n=" in first:
+            n = int(first.split("n=")[1].split()[0])
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)  # empty file is legal
+        pairs = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    if pairs.size == 0:
+        return DirectedEdgeList(np.empty(0, np.int64), np.empty(0, np.int64), n or 0)
+    return DirectedEdgeList(pairs[:, 0], pairs[:, 1], n)
+
+
+def save_bidegree_distribution(dist: DirectedDegreeDistribution, path) -> None:
+    """Write ``out_degree in_degree count`` text lines."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"# bidegree classes={dist.n_classes} n={dist.n} m={dist.m}\n")
+        np.savetxt(
+            fh,
+            np.stack([dist.out_degrees, dist.in_degrees, dist.counts], axis=1),
+            fmt="%d",
+        )
+
+
+def load_bidegree_distribution(path) -> DirectedDegreeDistribution:
+    """Read a distribution written by :func:`save_bidegree_distribution`."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)
+        data = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    if data.size == 0:
+        return DirectedDegreeDistribution([], [], [])
+    return DirectedDegreeDistribution(data[:, 0], data[:, 1], data[:, 2])

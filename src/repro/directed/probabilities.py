@@ -1,0 +1,104 @@
+"""Free-stub probability heuristic for bidegree distributions.
+
+The directed analogue of Section IV-A: for the Bernoulli realizer to
+match a bidegree distribution in expectation, the class-pair arc
+probabilities ``P[k, l]`` (source class k → target class l) must satisfy
+
+    out_k = Σ_l P[k, l] · (n_l − [k = l])        for every class k,
+    in_l  = Σ_k P[k, l] · (n_k − [k = l])        for every class l,
+
+with 0 ≤ P ≤ 1 (the [k = l] terms exclude self loops).  The allocation
+walks source classes in descending out-degree, distributing each class's
+out-stubs across target classes proportionally to their free in-stub
+mass, clamped by the three-term minimum (naive pairing, ordered-pair
+capacity, free in-stubs) — exactly the undirected scheme with the single
+stub pool split into an out pool and an in pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.directed.degree import DirectedDegreeDistribution
+
+__all__ = ["DirectedProbabilityResult", "directed_probabilities",
+           "expected_out_degrees", "expected_in_degrees"]
+
+
+@dataclass
+class DirectedProbabilityResult:
+    """Output of :func:`directed_probabilities`."""
+
+    P: np.ndarray
+    expected_arc_counts: np.ndarray
+    residual_out_stubs: np.ndarray
+    residual_in_stubs: np.ndarray
+
+    @property
+    def total_expected_arcs(self) -> float:
+        """Expected arcs the Bernoulli realization produces."""
+        return float(self.expected_arc_counts.sum())
+
+
+def _pair_capacity(dist: DirectedDegreeDistribution) -> np.ndarray:
+    """Ordered-pair capacity per class pair (diag excludes self loops)."""
+    counts = dist.counts.astype(np.float64)
+    cap = np.outer(counts, counts)
+    np.fill_diagonal(cap, counts * (counts - 1))
+    return cap
+
+
+def directed_probabilities(
+    dist: DirectedDegreeDistribution,
+    *,
+    passes: int = 1,
+) -> DirectedProbabilityResult:
+    """Compute class-pair arc probabilities for directed edge skipping."""
+    if passes < 1:
+        raise ValueError("passes must be >= 1")
+    k = dist.n_classes
+    cap = _pair_capacity(dist)
+    fe_out = (dist.out_degrees * dist.counts).astype(np.float64)
+    fe_in = (dist.in_degrees * dist.counts).astype(np.float64)
+    E = np.zeros((k, k), dtype=np.float64)
+    order = np.argsort(-dist.out_degrees, kind="stable")
+
+    for _ in range(passes):
+        for src in order:
+            if fe_out[src] <= 0:
+                continue
+            total_in = fe_in.sum()
+            if total_in <= 0:
+                break
+            naive = fe_out[src] * fe_in / total_in
+            e = np.minimum(naive, np.maximum(cap[src] - E[src], 0.0))
+            e = np.minimum(e, fe_in)
+            E[src] += e
+            spent = e.sum()
+            fe_out[src] = max(fe_out[src] - spent, 0.0)
+            fe_in -= e
+            np.maximum(fe_in, 0.0, out=fe_in)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        P = np.where(cap > 0, E / cap, 0.0)
+    np.clip(P, 0.0, 1.0, out=P)
+    return DirectedProbabilityResult(
+        P=P,
+        expected_arc_counts=E,
+        residual_out_stubs=fe_out,
+        residual_in_stubs=fe_in,
+    )
+
+
+def expected_out_degrees(P: np.ndarray, dist: DirectedDegreeDistribution) -> np.ndarray:
+    """Expected out-degree per class under ``P``."""
+    counts = dist.counts.astype(np.float64)
+    return P @ counts - np.diag(P)
+
+
+def expected_in_degrees(P: np.ndarray, dist: DirectedDegreeDistribution) -> np.ndarray:
+    """Expected in-degree per class under ``P``."""
+    counts = dist.counts.astype(np.float64)
+    return P.T @ counts - np.diag(P)

@@ -1,0 +1,46 @@
+"""Distributed-memory edge switching over a simulated BSP substrate.
+
+The paper's Section VIII-C comparator: Bhuiyan, Khan, Chen & Marathe,
+"Parallel algorithms for switching edges in heterogeneous graphs" [5],
+perform double-edge swaps in *distributed memory* — edges partitioned
+across ranks, conflict detection through messages to the owners of edge
+keys.  The paper reports their LiveJournal run at ~300 s serial / ~20 s
+on 64 processors versus its own 15 s serial / 3 s on 16 cores, i.e. the
+shared-memory formulation wins at single-node scale because the
+distributed one pays per-proposal communication.
+
+Without a cluster (or MPI) this reproduction executes the distributed
+algorithm on a *simulated* message-passing substrate:
+
+- :mod:`repro.distributed.comm` — a deterministic bulk-synchronous
+  (BSP) engine: per-rank state, superstep functions producing outboxes,
+  exact message/byte accounting, and an α–β (latency–bandwidth) time
+  model;
+- :mod:`repro.distributed.partition` — block edge partitioning and
+  hash partitioning of the edge-key space onto owner ranks;
+- :mod:`repro.distributed.swap` — the distributed swap iteration:
+  random edge shuffle-exchange, local pairing, owner-mediated
+  ``TestAndSet`` reservation of the proposed edges (the per-rank tables
+  are this library's :class:`~repro.parallel.hashtable.ConcurrentEdgeHashTable`),
+  commit.  Semantics match the shared-memory Algorithm III.1 exactly
+  (no rollback; failures are conservative), so outputs live in the same
+  space — only the execution substrate differs.
+
+The benchmarks regenerate the Section VIII-C comparison: identical swap
+quality, but the distributed execution pays Θ(m) messages per iteration,
+which the time model converts into the crossover the paper describes.
+"""
+
+from repro.distributed.comm import BSPEngine, CommStats, AlphaBetaModel
+from repro.distributed.partition import block_partition, key_owner
+from repro.distributed.swap import distributed_swap_edges, DistributedSwapReport
+
+__all__ = [
+    "BSPEngine",
+    "CommStats",
+    "AlphaBetaModel",
+    "block_partition",
+    "key_owner",
+    "distributed_swap_edges",
+    "DistributedSwapReport",
+]

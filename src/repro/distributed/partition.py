@@ -1,0 +1,29 @@
+"""Partitioning helpers for the distributed swap algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.runtime import chunk_bounds
+
+__all__ = ["block_partition", "key_owner"]
+
+
+def block_partition(m: int, ranks: int) -> list[np.ndarray]:
+    """Contiguous block of edge indices owned by each rank."""
+    bounds = chunk_bounds(m, ranks)
+    return [np.arange(bounds[k], bounds[k + 1], dtype=np.int64) for k in range(ranks)]
+
+
+def key_owner(keys: np.ndarray, ranks: int) -> np.ndarray:
+    """Owner rank of each packed edge key (hash partitioning).
+
+    The edge-key space is hash-partitioned so that simplicity queries for
+    one edge always route to the same rank, regardless of which rank
+    holds the edge itself — the distributed analogue of the shared hash
+    table.
+    """
+    keys = np.asarray(keys, dtype=np.int64).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        z = keys * np.uint64(0x9E3779B97F4A7C15)
+    return ((z >> np.uint64(33)) % np.uint64(ranks)).astype(np.int64)

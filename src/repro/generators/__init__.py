@@ -1,0 +1,42 @@
+"""Baseline random-graph generators the paper evaluates against."""
+
+from repro.generators.sampling import BinarySearchSampler, AliasSampler, make_sampler
+from repro.generators.chung_lu import chung_lu_om, erased_chung_lu
+from repro.generators.bernoulli import (
+    chung_lu_probabilities,
+    bernoulli_chung_lu,
+    bernoulli_naive,
+)
+from repro.generators.erdos_renyi import erdos_renyi
+from repro.generators.configuration import (
+    configuration_model,
+    erased_configuration_model,
+    repeated_configuration_model,
+)
+from repro.generators.havel_hakimi import havel_hakimi_graph
+from repro.generators.corrected_chung_lu import (
+    corrected_weights,
+    corrected_probability_matrix,
+    corrected_bernoulli_chung_lu,
+    CorrectionResult,
+)
+
+__all__ = [
+    "BinarySearchSampler",
+    "AliasSampler",
+    "make_sampler",
+    "chung_lu_om",
+    "erased_chung_lu",
+    "chung_lu_probabilities",
+    "bernoulli_chung_lu",
+    "bernoulli_naive",
+    "erdos_renyi",
+    "configuration_model",
+    "erased_configuration_model",
+    "repeated_configuration_model",
+    "havel_hakimi_graph",
+    "corrected_weights",
+    "corrected_probability_matrix",
+    "corrected_bernoulli_chung_lu",
+    "CorrectionResult",
+]

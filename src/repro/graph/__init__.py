@@ -1,0 +1,35 @@
+"""Graph containers, degree distributions and statistics."""
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.degree import DegreeDistribution
+from repro.graph.stats import (
+    gini_coefficient,
+    percent_error,
+    degree_error_by_degree,
+    degree_assortativity,
+    attachment_probability_matrix,
+)
+from repro.graph.csr import (
+    CSRAdjacency,
+    triangle_count,
+    triangles_per_vertex,
+    clustering_coefficients,
+    transitivity,
+    wedge_count,
+)
+
+__all__ = [
+    "EdgeList",
+    "DegreeDistribution",
+    "gini_coefficient",
+    "percent_error",
+    "degree_error_by_degree",
+    "degree_assortativity",
+    "attachment_probability_matrix",
+    "CSRAdjacency",
+    "triangle_count",
+    "triangles_per_vertex",
+    "clustering_coefficients",
+    "transitivity",
+    "wedge_count",
+]

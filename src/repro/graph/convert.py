@@ -1,0 +1,50 @@
+"""Conversion between :class:`~repro.graph.edgelist.EdgeList` and NetworkX.
+
+NetworkX is an optional dependency used only at the boundary — examples
+and tests use it as an independent oracle; the library's generation paths
+never do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(graph: EdgeList, *, multigraph: bool = False):
+    """Convert to a :class:`networkx.Graph` (or ``MultiGraph``).
+
+    With ``multigraph=False`` (default) parallel edges collapse, matching
+    ``networkx.Graph`` semantics; pass ``multigraph=True`` to preserve
+    multi-edges and self-loop multiplicity.
+    """
+    import networkx as nx
+
+    g = nx.MultiGraph() if multigraph else nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(zip(graph.u.tolist(), graph.v.tolist()))
+    return g
+
+
+def from_networkx(g) -> EdgeList:
+    """Convert a NetworkX (multi)graph with integer node labels."""
+    nodes = sorted(g.nodes())
+    if nodes and (nodes[0] != 0 or nodes[-1] != len(nodes) - 1):
+        relabel = {node: i for i, node in enumerate(nodes)}
+    else:
+        relabel = None
+    edges = np.asarray(
+        [(e[0], e[1]) for e in g.edges()], dtype=object if relabel else np.int64
+    )
+    if len(edges) == 0:
+        return EdgeList(np.empty(0, np.int64), np.empty(0, np.int64), len(nodes))
+    if relabel:
+        u = np.asarray([relabel[a] for a, _ in edges], dtype=np.int64)
+        v = np.asarray([relabel[b] for _, b in edges], dtype=np.int64)
+    else:
+        edges = edges.astype(np.int64)
+        u, v = edges[:, 0], edges[:, 1]
+    return EdgeList(u, v, len(nodes))

@@ -1,0 +1,147 @@
+"""Compressed-sparse-row adjacency and subgraph (motif) counting.
+
+Motif finding is the paper's first motivating application: "a motif is a
+subgraph that appears more frequently relative to in uniformly random
+graph[s]" [23].  This module provides the adjacency structure and the
+counting kernels the motif examples need, with no NetworkX dependency in
+the hot path:
+
+- :class:`CSRAdjacency` — counting-sort CSR build, O(n + m);
+- :func:`triangle_count` / per-vertex triangles — sorted-adjacency merge
+  counting, the standard node-iterator bound O(Σ d²);
+- :func:`clustering_coefficients` and the global transitivity used as
+  swap-chain mixing statistics;
+- :func:`wedge_count` — the paths-of-length-2 denominator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "CSRAdjacency",
+    "triangle_count",
+    "triangles_per_vertex",
+    "wedge_count",
+    "clustering_coefficients",
+    "transitivity",
+]
+
+
+class CSRAdjacency:
+    """Immutable CSR adjacency of a simple undirected graph."""
+
+    __slots__ = ("indptr", "indices", "n")
+
+    def __init__(self, graph: EdgeList) -> None:
+        if not graph.is_simple():
+            raise ValueError("CSRAdjacency requires a simple graph")
+        self.n = graph.n
+        deg = graph.degree_sequence()
+        self.indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(deg, out=self.indptr[1:])
+        # one global lexsort of both edge orientations yields per-vertex
+        # sorted neighbor lists directly
+        src = np.concatenate([graph.u, graph.v])
+        dst = np.concatenate([graph.v, graph.u])
+        order = np.lexsort((dst, src))
+        self.indices = dst[order]
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of vertex ``v`` (a view)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """All vertex degrees."""
+        return np.diff(self.indptr)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership test via binary search in the sorted list."""
+        nbrs = self.neighbors(u)
+        i = np.searchsorted(nbrs, v)
+        return bool(i < len(nbrs) and nbrs[i] == v)
+
+
+def triangles_per_vertex(graph: EdgeList) -> np.ndarray:
+    """Number of triangles through each vertex, fully vectorized.
+
+    For every edge (u, v), oriented so deg(u) ≤ deg(v), each neighbor c
+    of u is a *candidate* third corner; {u, v, c} is a triangle iff the
+    edge {c, v} exists.  Candidates are gathered for all edges at once
+    (one flattened CSR gather) and the existence test is a single batched
+    membership query against the packed-edge hash table — O(Σ_e
+    min-degree(e)) total work, no Python per-edge loop.  Each triangle is
+    found once per edge (3×) and each find credits all three corners, so
+    the accumulated counts are divided by 3.
+    """
+    from repro.parallel.hashtable import ConcurrentEdgeHashTable, pack_edges
+
+    adj = CSRAdjacency(graph)
+    tri = np.zeros(graph.n, dtype=np.int64)
+    if graph.m == 0:
+        return tri
+    indptr, indices = adj.indptr, adj.indices
+    deg = adj.degrees()
+    swap = deg[graph.u] > deg[graph.v]
+    u = np.where(swap, graph.v, graph.u)
+    v = np.where(swap, graph.u, graph.v)
+
+    table = ConcurrentEdgeHashTable(graph.m)
+    table.test_and_set(graph.keys())
+
+    # flattened gather of every edge's low-endpoint neighbor list
+    counts = deg[u]
+    starts = indptr[u]
+    total = int(counts.sum())
+    if total == 0:
+        return tri
+    edge_of = np.repeat(np.arange(graph.m, dtype=np.int64), counts)
+    # position within each segment: global index minus the segment start
+    seg_starts = np.repeat(np.concatenate([[0], np.cumsum(counts)[:-1]]), counts)
+    within = np.arange(total, dtype=np.int64) - seg_starts
+    cand = indices[np.repeat(starts, counts) + within]
+
+    v_rep = v[edge_of]
+    valid = cand != v_rep  # skip the edge's own other endpoint
+    hit = np.zeros(total, dtype=bool)
+    hit[valid] = table.contains(pack_edges(cand[valid], v_rep[valid]))
+
+    per_edge = np.bincount(edge_of[hit], minlength=graph.m)
+    np.add.at(tri, u, per_edge)
+    np.add.at(tri, v, per_edge)
+    np.add.at(tri, cand[hit], 1)
+    return tri // 3
+
+
+def triangle_count(graph: EdgeList) -> int:
+    """Total number of triangles in the graph."""
+    return int(triangles_per_vertex(graph).sum()) // 3
+
+
+def wedge_count(graph: EdgeList) -> int:
+    """Number of wedges (paths of length 2): Σ C(d_v, 2)."""
+    deg = graph.degree_sequence()
+    return int((deg * (deg - 1) // 2).sum())
+
+
+def clustering_coefficients(graph: EdgeList) -> np.ndarray:
+    """Per-vertex local clustering: triangles / wedges at the vertex."""
+    tri = triangles_per_vertex(graph)
+    deg = graph.degree_sequence()
+    wedges = deg * (deg - 1) / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(wedges > 0, tri / wedges, 0.0)
+
+
+def transitivity(graph: EdgeList) -> float:
+    """Global clustering: 3 × triangles / wedges."""
+    w = wedge_count(graph)
+    if w == 0:
+        return 0.0
+    return 3.0 * triangle_count(graph) / w

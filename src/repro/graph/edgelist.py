@@ -1,0 +1,138 @@
+"""Edge-list graph container.
+
+The paper's algorithms operate directly on a flat edge list — "a listing
+of its edges each defined by an i, j vertex pair" — never on an adjacency
+structure.  :class:`EdgeList` wraps two parallel int64 arrays ``u``/``v``
+plus an explicit vertex count, and provides the simplicity queries
+(self loops, multi-edges) that define the simple-graph space, the erased
+projection used by the erased-model baselines, and degree extraction.
+
+Edges are undirected; the stored orientation is whatever the generator
+produced.  Canonical identity is the packed 64-bit key of
+:func:`repro.parallel.hashtable.pack_edges` (smaller endpoint in the high
+bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.hashtable import pack_edges, unpack_edges
+
+__all__ = ["EdgeList"]
+
+
+class EdgeList:
+    """An undirected graph stored as parallel endpoint arrays.
+
+    Parameters
+    ----------
+    u, v:
+        Endpoint arrays of equal length (one entry per edge).
+    n:
+        Number of vertices.  If omitted, inferred as ``max(u, v) + 1``.
+    """
+
+    __slots__ = ("u", "v", "n")
+
+    def __init__(self, u, v, n: int | None = None) -> None:
+        self.u = np.ascontiguousarray(u, dtype=np.int64)
+        self.v = np.ascontiguousarray(v, dtype=np.int64)
+        if self.u.shape != self.v.shape or self.u.ndim != 1:
+            raise ValueError("u and v must be equal-length 1-D arrays")
+        if self.u.size and min(self.u.min(), self.v.min()) < 0:
+            raise ValueError("vertex ids must be non-negative")
+        inferred = int(max(self.u.max(), self.v.max())) + 1 if self.u.size else 0
+        self.n = int(n) if n is not None else inferred
+        if self.n < inferred:
+            raise ValueError(f"n={n} smaller than max vertex id {inferred - 1}")
+
+    # -- basics ----------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of edges (including any self loops / multi-edges)."""
+        return len(self.u)
+
+    def __len__(self) -> int:
+        return self.m
+
+    def __repr__(self) -> str:
+        return f"EdgeList(n={self.n}, m={self.m})"
+
+    def copy(self) -> "EdgeList":
+        """Deep copy."""
+        return EdgeList(self.u.copy(), self.v.copy(), self.n)
+
+    @classmethod
+    def from_pairs(cls, pairs, n: int | None = None) -> "EdgeList":
+        """Build from an iterable of ``(u, v)`` pairs."""
+        arr = np.asarray(list(pairs), dtype=np.int64)
+        if arr.size == 0:
+            return cls(np.empty(0, np.int64), np.empty(0, np.int64), n or 0)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("pairs must be (m, 2) shaped")
+        return cls(arr[:, 0], arr[:, 1], n)
+
+    @classmethod
+    def from_keys(cls, keys: np.ndarray, n: int | None = None) -> "EdgeList":
+        """Build from packed 64-bit canonical keys."""
+        u, v = unpack_edges(keys)
+        return cls(u, v, n)
+
+    def keys(self) -> np.ndarray:
+        """Canonical packed 64-bit key per edge."""
+        return pack_edges(self.u, self.v)
+
+    def pairs(self) -> np.ndarray:
+        """The ``(m, 2)`` endpoint array (a copy)."""
+        return np.stack([self.u, self.v], axis=1)
+
+    # -- simplicity ------------------------------------------------------
+
+    def self_loop_mask(self) -> np.ndarray:
+        """Boolean mask of edges with ``u == v``."""
+        return self.u == self.v
+
+    def count_self_loops(self) -> int:
+        """Number of self loops."""
+        return int(self.self_loop_mask().sum())
+
+    def count_multi_edges(self) -> int:
+        """Number of surplus parallel edges (each extra copy counts once)."""
+        if self.m == 0:
+            return 0
+        _, counts = np.unique(self.keys(), return_counts=True)
+        return int((counts - 1).sum())
+
+    def is_simple(self) -> bool:
+        """True iff the graph has no self loops and no multi-edges."""
+        return self.count_self_loops() == 0 and self.count_multi_edges() == 0
+
+    def simplify(self) -> "EdgeList":
+        """The *erased* projection: drop self loops and duplicate edges.
+
+        This is the "erased configuration model" operation of Britton et
+        al. [8] — the source of the degree-distribution error the paper's
+        Figure 2 quantifies.
+        """
+        keep = ~self.self_loop_mask()
+        keys = pack_edges(self.u[keep], self.v[keep])
+        unique = np.unique(keys)
+        return EdgeList.from_keys(unique, self.n)
+
+    # -- degrees ---------------------------------------------------------
+
+    def degree_sequence(self) -> np.ndarray:
+        """Per-vertex degree (self loops contribute 2, as usual)."""
+        deg = np.bincount(self.u, minlength=self.n).astype(np.int64)
+        deg += np.bincount(self.v, minlength=self.n)
+        return deg
+
+    # -- comparison ------------------------------------------------------
+
+    def same_graph(self, other: "EdgeList") -> bool:
+        """True iff both lists describe the same simple edge *set*."""
+        if self.n != other.n:
+            return False
+        return np.array_equal(np.sort(np.unique(self.keys())), np.sort(np.unique(other.keys())))

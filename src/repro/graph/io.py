@@ -1,0 +1,117 @@
+"""File I/O for edge lists and degree distributions.
+
+Two formats:
+
+- whitespace-separated text (one ``u v`` pair, or one ``degree count``
+  pair, per line; ``#`` comments allowed) — the SNAP interchange format
+  the paper's datasets ship in;
+- compressed ``.npz`` for fast round-trips of large instances.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.degree import DegreeDistribution
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "save_edge_list",
+    "load_edge_list",
+    "save_degree_distribution",
+    "load_degree_distribution",
+    "save_metis",
+    "load_metis",
+]
+
+
+def save_edge_list(graph: EdgeList, path) -> None:
+    """Write a graph; format chosen by extension (``.npz`` or text)."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        np.savez_compressed(path, u=graph.u, v=graph.v, n=np.int64(graph.n))
+    else:
+        with path.open("w") as fh:
+            fh.write(f"# n={graph.n} m={graph.m}\n")
+            np.savetxt(fh, graph.pairs(), fmt="%d")
+
+
+def load_edge_list(path) -> EdgeList:
+    """Read a graph written by :func:`save_edge_list`."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        with np.load(path) as data:
+            return EdgeList(data["u"], data["v"], int(data["n"]))
+    n = None
+    with path.open() as fh:
+        first = fh.readline()
+        if first.startswith("#") and "n=" in first:
+            n = int(first.split("n=")[1].split()[0])
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)  # empty file is legal
+        pairs = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    if pairs.size == 0:
+        return EdgeList(np.empty(0, np.int64), np.empty(0, np.int64), n or 0)
+    return EdgeList(pairs[:, 0], pairs[:, 1], n)
+
+
+def save_metis(graph: EdgeList, path) -> None:
+    """Write a simple graph in METIS format.
+
+    Header line ``n m``, then one line per vertex listing its 1-indexed
+    neighbors — the interchange format of the graph-partitioning world
+    (and of the HPCGraphAnalysis tools the paper's code targets).
+    """
+    if not graph.is_simple():
+        raise ValueError("METIS format requires a simple graph")
+    from repro.graph.csr import CSRAdjacency
+
+    adj = CSRAdjacency(graph)
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"{graph.n} {graph.m}\n")
+        for v in range(graph.n):
+            fh.write(" ".join(str(int(x) + 1) for x in adj.neighbors(v)) + "\n")
+
+
+def load_metis(path) -> EdgeList:
+    """Read a METIS graph written by :func:`save_metis`."""
+    path = Path(path)
+    with path.open() as fh:
+        header = fh.readline().split()
+        n, m = int(header[0]), int(header[1])
+        us: list[int] = []
+        vs: list[int] = []
+        for v, line in enumerate(fh):
+            if v >= n:
+                break
+            for tok in line.split():
+                w = int(tok) - 1
+                if w >= v:  # emit each undirected edge once
+                    us.append(v)
+                    vs.append(w)
+    graph = EdgeList(np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64), n)
+    if graph.m != m:
+        raise ValueError(f"METIS header claims {m} edges, file holds {graph.m}")
+    return graph
+
+
+def save_degree_distribution(dist: DegreeDistribution, path) -> None:
+    """Write ``degree count`` text lines."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"# classes={dist.n_classes} n={dist.n} m={dist.m}\n")
+        np.savetxt(fh, np.stack([dist.degrees, dist.counts], axis=1), fmt="%d")
+
+
+def load_degree_distribution(path) -> DegreeDistribution:
+    """Read a distribution written by :func:`save_degree_distribution`."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)  # empty file is legal
+        data = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    if data.size == 0:
+        return DegreeDistribution(np.empty(0, np.int64), np.empty(0, np.int64))
+    return DegreeDistribution(data[:, 0], data[:, 1])

@@ -1,0 +1,19 @@
+"""Hierarchical / LFR-like network generation (Section VI)."""
+
+from repro.hierarchy.lfr import LFRParams, LFRGraph, lfr_like, sample_community_sizes
+from repro.hierarchy.hierarchical import Level, generate_hierarchical
+from repro.hierarchy.overlapping import overlapping_communities
+from repro.hierarchy.metrics import modularity, mixing_fraction, community_sizes
+
+__all__ = [
+    "LFRParams",
+    "LFRGraph",
+    "lfr_like",
+    "sample_community_sizes",
+    "Level",
+    "generate_hierarchical",
+    "overlapping_communities",
+    "modularity",
+    "mixing_fraction",
+    "community_sizes",
+]

@@ -1,0 +1,104 @@
+"""Overlapping community generation (Section VI, refs [12], [37]).
+
+"This two-level approach can be further generalized to any number of
+hierarchical or overlapping levels … For each subgraph, we include a
+value λ_i which is the share of the degree for each vertex that is
+assigned to the given subgraph i.  The only restriction is that the λ
+values in the subgraphs for which [a] vertex is assigned must sum to
+1.0."
+
+:func:`overlapping_communities` is the convenience front-end for that
+machinery when community memberships overlap (a vertex belongs to
+several communities, AGM-style [37]): given per-vertex membership *sets*
+and per-membership shares, it lays the communities out as single-
+subgraph levels plus an optional global background level, validates the
+share budget, and runs :func:`~repro.hierarchy.hierarchical.generate_hierarchical`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.hierarchy.hierarchical import Level, generate_hierarchical
+from repro.parallel.runtime import ParallelConfig
+
+__all__ = ["overlapping_communities"]
+
+
+def overlapping_communities(
+    degrees: np.ndarray,
+    memberships: list[list[int]],
+    *,
+    shares: list[list[float]] | None = None,
+    background_share: float = 0.0,
+    config: ParallelConfig | None = None,
+    swap_iterations: int = 5,
+) -> tuple[EdgeList, dict]:
+    """Generate a graph whose vertices belong to overlapping communities.
+
+    Parameters
+    ----------
+    degrees:
+        Global per-vertex target degrees.
+    memberships:
+        ``memberships[v]`` — the community ids vertex ``v`` belongs to
+        (possibly several, possibly none).
+    shares:
+        ``shares[v][k]`` — the λ share of vertex v's degree spent in its
+        k-th community.  Defaults to an even split of the non-background
+        budget across the vertex's communities.
+    background_share:
+        λ share every vertex spends in a global background layer
+        (vertices with no community spend their whole budget there).
+
+    Returns
+    -------
+    (graph, info):
+        ``info`` is the layer report of
+        :func:`~repro.hierarchy.hierarchical.generate_hierarchical`.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    n = len(degrees)
+    if len(memberships) != n:
+        raise ValueError("memberships must list communities for every vertex")
+    if not 0.0 <= background_share <= 1.0:
+        raise ValueError("background_share must be in [0, 1]")
+
+    if shares is None:
+        shares = []
+        for comms in memberships:
+            if comms:
+                shares.append([(1.0 - background_share) / len(comms)] * len(comms))
+            else:
+                shares.append([])
+    if len(shares) != n:
+        raise ValueError("shares must match memberships in length")
+
+    community_ids = sorted({c for comms in memberships for c in comms})
+    levels: list[Level] = []
+    for cid in community_ids:
+        membership = np.full(n, -1, dtype=np.int64)
+        lam = np.zeros(n, dtype=np.float64)
+        for v in range(n):
+            if cid in memberships[v]:
+                k = memberships[v].index(cid)
+                if len(shares[v]) != len(memberships[v]):
+                    raise ValueError(f"vertex {v}: shares/memberships length mismatch")
+                membership[v] = 0
+                lam[v] = shares[v][k]
+        levels.append(Level(membership, lam, name=f"community-{cid}"))
+
+    # background layer absorbs the remaining budget (all of it for
+    # community-less vertices)
+    lam_bg = np.full(n, background_share, dtype=np.float64)
+    for v in range(n):
+        if not memberships[v]:
+            lam_bg[v] = 1.0
+    if (lam_bg > 0).any():
+        levels.append(Level(np.zeros(n, dtype=np.int64), lam_bg, name="background"))
+
+    config = config or ParallelConfig()
+    return generate_hierarchical(
+        degrees, levels, config, swap_iterations=swap_iterations
+    )

@@ -1,0 +1,121 @@
+"""Work/span accounting and simulated multi-thread wall-clock.
+
+The paper reports 16-core timings on a dedicated Xeon node.  This
+reproduction runs its (vectorized) engines on whatever host executes the
+tests — typically a single core — so absolute multi-thread times cannot be
+*measured*.  They can, however, be *modeled*: every parallel algorithm in
+this library reports the work ``W`` (total operations) and depth ``D``
+(critical-path operations, e.g. permutation rounds × O(1), scan tree
+height) it performed, and Brent's bound
+
+    T_p ≈ (W / p + D) · c
+
+converts that into simulated p-thread time, where the per-operation cost
+``c`` is calibrated from the measured single-stream wall time of the same
+run (``c = T_measured / W``).  Speedup *shapes* — which phases scale,
+where the O(|D|) serial probability phase flattens the curve, how the
+swap phase dominates — are exactly the quantities the paper's Figures 5–6
+and the Section VIII-C comparison discuss, and they depend only on the
+W/D accounting, not on the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PhaseCost", "CostModel"]
+
+
+@dataclass
+class PhaseCost:
+    """Work/span record of one algorithm phase.
+
+    Parameters
+    ----------
+    name:
+        Phase label (e.g. ``"probabilities"``, ``"edge_generation"``,
+        ``"swap"``).
+    work:
+        Total operation count W across all threads.
+    depth:
+        Critical-path operation count D (the span).
+    seconds:
+        Measured wall time of the single-stream execution of this phase,
+        used to calibrate the per-op cost.  May be 0 for pure modeling.
+    """
+
+    name: str
+    work: float
+    depth: float
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.work < 0 or self.depth < 0 or self.seconds < 0:
+            raise ValueError("work, depth and seconds must be non-negative")
+        if self.depth > self.work:
+            # the span can never exceed the total work
+            self.depth = self.work
+
+    def simulated_seconds(self, threads: int) -> float:
+        """Brent-bound time of this phase on ``threads`` threads."""
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        if self.work == 0:
+            return 0.0
+        cost_per_op = self.seconds / self.work if self.seconds else 1.0 / self.work
+        return (self.work / threads + self.depth) * cost_per_op
+
+
+@dataclass
+class CostModel:
+    """Accumulates :class:`PhaseCost` records for a whole run."""
+
+    phases: list[PhaseCost] = field(default_factory=list)
+
+    def add(self, name: str, work: float, depth: float, seconds: float = 0.0) -> PhaseCost:
+        """Record a phase and return its cost object."""
+        phase = PhaseCost(name, work, depth, seconds)
+        self.phases.append(phase)
+        return phase
+
+    def merge(self, other: "CostModel") -> None:
+        """Append all phases of ``other``."""
+        self.phases.extend(other.phases)
+
+    def phase(self, name: str) -> PhaseCost:
+        """Aggregate of all phases with the given name."""
+        matches = [p for p in self.phases if p.name == name]
+        if not matches:
+            raise KeyError(f"no phase named {name!r}")
+        return PhaseCost(
+            name,
+            work=sum(p.work for p in matches),
+            depth=sum(p.depth for p in matches),
+            seconds=sum(p.seconds for p in matches),
+        )
+
+    def phase_names(self) -> list[str]:
+        """Distinct phase names in first-seen order."""
+        seen: dict[str, None] = {}
+        for p in self.phases:
+            seen.setdefault(p.name, None)
+        return list(seen)
+
+    def simulated_seconds(self, threads: int) -> float:
+        """Total Brent-bound time on ``threads`` threads."""
+        return sum(p.simulated_seconds(threads) for p in self.phases)
+
+    def speedup_curve(self, thread_counts) -> np.ndarray:
+        """Speedup T(1)/T(p) for each p in ``thread_counts``."""
+        t1 = self.simulated_seconds(1)
+        return np.asarray([t1 / self.simulated_seconds(int(p)) for p in thread_counts])
+
+    def total_work(self) -> float:
+        """Sum of work over all phases."""
+        return sum(p.work for p in self.phases)
+
+    def total_depth(self) -> float:
+        """Sum of depth over all phases (phases execute sequentially)."""
+        return sum(p.depth for p in self.phases)

@@ -1,0 +1,149 @@
+"""Parallel random permutation (Shun et al.) and baselines.
+
+Algorithm III.1 permutes the edge list every swap iteration.  The paper
+uses the *deterministic reservations* technique of Shun, Gu, Blelloch,
+Fineman and Gibbons ("Sequential random permutation, list contraction and
+tree contraction are highly parallel", SODA 2015): draw the classic
+Knuth-shuffle swap targets ``H[i] ∈ [i, n)`` up front, then repeatedly,
+in parallel rounds, let every uncommitted step *i* reserve the two array
+slots it touches (``i`` and ``H[i]``) with an atomic-min write and commit
+iff it won both reservations.  A committed step can then swap safely, and
+the final permutation is **identical to the sequential Fisher–Yates
+shuffle run on the same H array** — which is exactly what our tests
+assert.  The number of rounds is O(log n) w.h.p., giving the
+O(m log m) work / O(log m) depth budget quoted in the paper's Section V.
+
+:func:`sort_permutation` (permute by sorting random keys) is the
+"other existing libraries" baseline the paper reports an order of
+magnitude of speedup over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.rng import generator_from_seed
+from repro.parallel.runtime import ParallelConfig
+
+__all__ = [
+    "parallel_permutation",
+    "fisher_yates_permutation",
+    "sort_permutation",
+    "knuth_targets",
+    "PermutationStats",
+]
+
+
+@dataclass
+class PermutationStats:
+    """Execution statistics of one reservation-based permutation."""
+
+    n: int = 0
+    rounds: int = 0
+    #: total step-commit attempts summed over rounds (≥ n; the excess is
+    #: work wasted on reservation conflicts)
+    attempts: int = 0
+
+    @property
+    def retry_overhead(self) -> float:
+        """Wasted attempts per element, 0.0 for a conflict-free run."""
+        return (self.attempts - self.n) / self.n if self.n else 0.0
+
+
+def knuth_targets(n: int, rng) -> np.ndarray:
+    """Draw the Fisher–Yates swap targets ``H[i] ∈ [i, n)``."""
+    rng = generator_from_seed(rng)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    i = np.arange(n, dtype=np.int64)
+    return i + (rng.random(n) * (n - i)).astype(np.int64)
+
+
+def fisher_yates_permutation(
+    array: np.ndarray, rng=None, *, targets: np.ndarray | None = None
+) -> np.ndarray:
+    """Sequential Knuth shuffle; the serial reference for the parallel one.
+
+    ``targets`` may be supplied to replay a specific H array (used by the
+    equivalence tests); otherwise it is drawn from ``rng``.
+    """
+    out = np.array(array, copy=True)
+    n = len(out)
+    h = knuth_targets(n, rng) if targets is None else np.asarray(targets, dtype=np.int64)
+    if len(h) != n:
+        raise ValueError("targets must have the same length as array")
+    for i in range(n):
+        j = h[i]
+        out[i], out[j] = out[j], out[i]
+    return out
+
+
+def sort_permutation(array: np.ndarray, rng=None) -> np.ndarray:
+    """Permute by sorting random keys — the slower library baseline."""
+    rng = generator_from_seed(rng)
+    order = np.argsort(rng.random(len(array)), kind="stable")
+    return np.asarray(array)[order]
+
+
+def parallel_permutation(
+    array: np.ndarray,
+    config: ParallelConfig | None = None,
+    *,
+    targets: np.ndarray | None = None,
+    stats: PermutationStats | None = None,
+) -> np.ndarray:
+    """Reservation-based parallel random permutation.
+
+    Returns a permuted copy of ``array``.  Output is bitwise identical to
+    :func:`fisher_yates_permutation` with the same ``targets`` (or the
+    same seed), per the determinism guarantee of Shun et al.
+
+    ``stats`` (optional) receives the round/attempt counts, which the cost
+    model uses to charge the O(log n) span of this phase.
+    """
+    config = config or ParallelConfig()
+    rng = config.generator()
+    out = np.array(array, copy=True)
+    n = len(out)
+    h = knuth_targets(n, rng) if targets is None else np.asarray(targets, dtype=np.int64)
+    if len(h) != n:
+        raise ValueError("targets must have the same length as array")
+    if n and (h.min() < 0 or h.max() >= n):
+        raise ValueError("targets out of range")
+    if stats is not None:
+        stats.n = n
+
+    if config.backend == "serial":
+        return fisher_yates_permutation(array, targets=h)
+
+    reservation = np.empty(n, dtype=np.int64)
+    remaining = np.arange(n, dtype=np.int64)
+    # The smallest uncommitted step always wins both its reservations, so
+    # every round commits at least one step; n+1 rounds is an absolute
+    # bound while typical runs take O(log n) rounds.
+    for _ in range(n + 1):
+        if len(remaining) == 0:
+            break
+        if stats is not None:
+            stats.rounds += 1
+            stats.attempts += len(remaining)
+        # Reservation phase: each uncommitted step atomically min-writes
+        # its id into both slots it will touch.
+        reservation.fill(n)
+        slots = np.concatenate([remaining, h[remaining]])
+        vals = np.concatenate([remaining, remaining])
+        np.minimum.at(reservation, slots, vals)
+        # Commit phase: step i proceeds iff it holds both reservations.
+        ok = (reservation[remaining] == remaining) & (reservation[h[remaining]] == remaining)
+        idx = remaining[ok]
+        tgt = h[idx]
+        a_i = out[idx].copy()
+        a_t = out[tgt].copy()
+        out[idx] = a_t
+        out[tgt] = a_i
+        remaining = remaining[~ok]
+    if len(remaining):
+        raise RuntimeError("reservation permutation failed to converge")
+    return out

@@ -1,0 +1,104 @@
+"""Parallel execution configuration and loop partitioning.
+
+Every parallel entry point in the library accepts a
+:class:`ParallelConfig`.  It pins down three things:
+
+- ``threads`` — the logical thread count *p*.  The vectorized engine uses
+  it to partition iteration spaces exactly as a static OpenMP schedule
+  would, and the cost model uses it to turn work accounting into
+  simulated p-thread time.
+- ``backend`` — ``"vectorized"`` (default; numpy kernels executing the
+  parallel round structure), ``"serial"`` (straight-line reference
+  implementations used for validation), or ``"process"``
+  (``multiprocessing`` over shared memory; true parallelism, useful on
+  multi-core hosts).
+- ``seed`` — base seed for reproducible per-thread streams.
+
+The module also provides the static chunk partitioner shared by all
+parallel loops, equivalent to OpenMP's ``schedule(static)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+import numpy as np
+
+from repro.parallel.rng import generator_from_seed, spawn_generators
+
+__all__ = ["ParallelConfig", "chunk_bounds", "chunk_views", "BACKENDS"]
+
+BACKENDS = ("vectorized", "serial", "process")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Execution configuration threaded through all parallel algorithms.
+
+    Parameters
+    ----------
+    threads:
+        Logical thread count *p* (≥ 1).  Partitions iteration spaces and
+        parameterizes the cost model.  Defaults to 16, matching the
+        single-node core count used throughout the paper's evaluation.
+    backend:
+        One of ``"vectorized"``, ``"serial"``, ``"process"``.
+    seed:
+        Base seed; ``None`` draws fresh entropy.
+    """
+
+    threads: int = 16
+    backend: str = "vectorized"
+    seed: object = None
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+
+    def generator(self) -> np.random.Generator:
+        """A single generator derived from :attr:`seed`."""
+        return generator_from_seed(self.seed)
+
+    def thread_generators(self) -> list[np.random.Generator]:
+        """One independent generator per logical thread."""
+        return spawn_generators(self.seed, self.threads)
+
+    def with_seed(self, seed) -> "ParallelConfig":
+        """Copy of this config with a different seed."""
+        return replace(self, seed=seed)
+
+    def with_threads(self, threads: int) -> "ParallelConfig":
+        """Copy of this config with a different thread count."""
+        return replace(self, threads=threads)
+
+
+def chunk_bounds(n: int, chunks: int) -> np.ndarray:
+    """Boundaries of a static partition of ``range(n)`` into ``chunks``.
+
+    Returns an int64 array of length ``chunks + 1`` with
+    ``bounds[k] <= bounds[k+1]``; chunk ``k`` owns
+    ``range(bounds[k], bounds[k+1])``.  The first ``n % chunks`` chunks get
+    one extra element, matching OpenMP's static schedule.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    base, extra = divmod(n, chunks)
+    sizes = np.full(chunks, base, dtype=np.int64)
+    sizes[:extra] += 1
+    bounds = np.zeros(chunks + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
+
+
+def chunk_views(array: np.ndarray, chunks: int) -> Iterator[np.ndarray]:
+    """Yield the per-chunk views of ``array`` under the static schedule."""
+    bounds = chunk_bounds(len(array), chunks)
+    for k in range(chunks):
+        yield array[bounds[k] : bounds[k + 1]]

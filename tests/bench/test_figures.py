@@ -1,0 +1,80 @@
+"""Tests for the ASCII figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import ascii_bar_chart, ascii_line_chart, sparkline
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_shape(self):
+        s = sparkline([0, 1, 2, 3])
+        assert s[0] == "▁" and s[-1] == "█"
+
+
+class TestBarChart:
+    def test_rows(self):
+        out = ascii_bar_chart(["a", "bb"], [1.0, 2.0], title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 3
+        assert "█" in lines[1]
+
+    def test_longest_bar_for_peak(self):
+        out = ascii_bar_chart(["a", "b"], [1.0, 4.0], width=8)
+        bars = [line.count("█") for line in out.splitlines()]
+        assert bars[1] == max(bars)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "(empty)" in ascii_bar_chart([], [])
+
+    def test_zero_values(self):
+        out = ascii_bar_chart(["z"], [0.0])
+        assert "z" in out
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = ascii_line_chart([0, 1, 2], {"s": [1.0, 2.0, 3.0]}, width=20, height=5)
+        lines = out.splitlines()
+        assert any("o" in line for line in lines)
+        assert "o=s" in lines[-1]
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_line_chart(
+            [0, 1], {"a": [0.0, 1.0], "b": [1.0, 0.0]}, width=10, height=4
+        )
+        assert "o=a" in out and "x=b" in out
+
+    def test_logy(self):
+        out = ascii_line_chart([0, 1, 2], {"s": [1.0, 10.0, 100.0]}, logy=True)
+        assert "100" in out
+
+    def test_constant_series(self):
+        out = ascii_line_chart([0, 1], {"s": [2.0, 2.0]})
+        assert "o" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([0, 1], {"s": [1.0]})
+
+    def test_empty_series_dict(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([0], {})
+
+    def test_title(self):
+        out = ascii_line_chart([0, 1], {"s": [0.0, 1.0]}, title="my chart")
+        assert out.splitlines()[0] == "my chart"

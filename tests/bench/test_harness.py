@@ -1,0 +1,78 @@
+"""Tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    GENERATORS,
+    ExperimentResult,
+    Timer,
+    format_table,
+    generate_with_method,
+    uniform_reference,
+)
+from repro.core.swap import SwapStats
+from repro.parallel.runtime import ParallelConfig
+
+
+class TestTimer:
+    def test_measures_positive(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.seconds >= 0
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_empty_rows(self):
+        assert "a" in format_table(["a"], [])
+
+
+class TestExperimentResult:
+    def test_add_and_render(self):
+        r = ExperimentResult("x", "desc", ["col1", "col2"])
+        r.add(1, 2)
+        out = r.render()
+        assert "x: desc" in out and "col1" in out
+
+    def test_add_wrong_arity(self):
+        r = ExperimentResult("x", "d", ["a"])
+        with pytest.raises(ValueError):
+            r.add(1, 2)
+
+
+class TestGenerators:
+    def test_four_methods(self):
+        assert set(GENERATORS) == {"CL O(m)", "O(m) simple", "O(n^2) edgeskip", "ours"}
+
+    @pytest.mark.parametrize("method", list(GENERATORS))
+    def test_each_runs(self, method, small_dist, cfg):
+        g = generate_with_method(method, small_dist, cfg)
+        assert g.n == small_dist.n
+
+    @pytest.mark.parametrize("method", ["O(m) simple", "O(n^2) edgeskip", "ours"])
+    def test_simple_methods_are_simple(self, method, skewed_dist, cfg):
+        assert generate_with_method(method, skewed_dist, cfg).is_simple()
+
+    def test_swap_iterations_applied(self, small_dist, cfg):
+        stats = SwapStats()
+        generate_with_method("ours", small_dist, cfg, swap_iterations=3, stats=stats)
+        assert stats.iterations == 3
+
+    def test_unknown_method(self, small_dist, cfg):
+        with pytest.raises(KeyError):
+            generate_with_method("quantum", small_dist, cfg)
+
+
+class TestUniformReference:
+    def test_simple_and_exact_degrees(self, skewed_dist, cfg):
+        g = uniform_reference(skewed_dist, cfg, swap_iterations=4)
+        assert g.is_simple()
+        np.testing.assert_array_equal(
+            np.sort(g.degree_sequence()), np.sort(skewed_dist.expand())
+        )

@@ -1,0 +1,166 @@
+"""Tests for the MCMC mixing diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (
+    autocorrelation,
+    effective_sample_size,
+    gelman_rubin,
+    integrated_autocorrelation_time,
+    iterations_until_all_swapped,
+    mixing_report,
+    statistic_trace,
+)
+from repro.generators.havel_hakimi import havel_hakimi_graph
+from repro.graph.edgelist import EdgeList
+from repro.parallel.runtime import ParallelConfig
+
+
+def trace_graph(seed=0):
+    from repro.datasets.synthetic import deterministic_powerlaw
+
+    return havel_hakimi_graph(deterministic_powerlaw(200, 4.0, 30, 10))
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        x = np.random.default_rng(0).random(100)
+        assert autocorrelation(x)[0] == pytest.approx(1.0)
+
+    def test_iid_decorrelates(self):
+        x = np.random.default_rng(1).random(4000)
+        rho = autocorrelation(x, 10)
+        assert np.abs(rho[1:]).max() < 0.1
+
+    def test_persistent_series_correlates(self):
+        rng = np.random.default_rng(2)
+        x = np.cumsum(rng.standard_normal(500))  # random walk
+        rho = autocorrelation(x, 5)
+        assert rho[1] > 0.8
+
+    def test_constant_trace(self):
+        rho = autocorrelation(np.full(50, 3.0), 5)
+        np.testing.assert_allclose(rho, 1.0)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.asarray([1.0]))
+
+    def test_max_lag_respected(self):
+        x = np.random.default_rng(3).random(100)
+        assert len(autocorrelation(x, 7)) == 8
+
+
+class TestIntegratedTime:
+    def test_iid_near_one(self):
+        x = np.random.default_rng(4).random(5000)
+        assert integrated_autocorrelation_time(x) < 1.6
+
+    def test_correlated_larger(self):
+        rng = np.random.default_rng(5)
+        # AR(1) with strong persistence
+        x = np.zeros(3000)
+        for i in range(1, len(x)):
+            x[i] = 0.95 * x[i - 1] + rng.standard_normal()
+        assert integrated_autocorrelation_time(x) > 5.0
+
+    def test_floor_at_one(self):
+        x = np.asarray([1.0, -1.0] * 100)  # anti-correlated
+        assert integrated_autocorrelation_time(x) >= 1.0
+
+
+class TestEffectiveSampleSize:
+    def test_iid_close_to_n(self):
+        x = np.random.default_rng(6).random(2000)
+        assert effective_sample_size(x) > 1200
+
+    def test_never_exceeds_reasonable_bound(self):
+        x = np.random.default_rng(7).random(100)
+        assert effective_sample_size(x) <= 2 * len(x)
+
+
+class TestGelmanRubin:
+    def test_same_distribution_near_one(self):
+        rng = np.random.default_rng(8)
+        chains = [rng.random(500) for _ in range(4)]
+        assert gelman_rubin(chains) == pytest.approx(1.0, abs=0.05)
+
+    def test_shifted_chains_flagged(self):
+        rng = np.random.default_rng(9)
+        chains = [rng.random(200), rng.random(200) + 5.0]
+        assert gelman_rubin(chains) > 2.0
+
+    def test_needs_two_chains(self):
+        with pytest.raises(ValueError):
+            gelman_rubin([np.zeros(10)])
+
+    def test_needs_samples(self):
+        with pytest.raises(ValueError):
+            gelman_rubin([np.zeros(1), np.zeros(1)])
+
+    def test_constant_chains(self):
+        assert gelman_rubin([np.full(10, 2.0), np.full(10, 2.0)]) == 1.0
+
+
+class TestStatisticTrace:
+    def test_length(self):
+        g = trace_graph()
+        trace = statistic_trace(g, 5, lambda gr: gr.m, ParallelConfig(seed=1))
+        assert len(trace) == 6
+        # edge count is invariant under swaps
+        np.testing.assert_allclose(trace, g.m)
+
+    def test_varying_statistic(self):
+        from repro.graph.stats import degree_assortativity
+
+        g = trace_graph()
+        trace = statistic_trace(g, 8, degree_assortativity, ParallelConfig(seed=2))
+        assert np.std(trace) > 0  # assortativity moves under swaps
+
+
+class TestIterationsUntilAllSwapped:
+    def test_reaches_target(self):
+        g = trace_graph()
+        its, stats = iterations_until_all_swapped(
+            g, ParallelConfig(seed=3), max_iterations=64, target_fraction=0.95
+        )
+        assert 1 <= its < 64
+        assert stats.swapped_fraction >= 0.95
+
+    def test_paper_claim_small_iteration_count(self):
+        """The paper: all edges swap within a handful of iterations."""
+        g = trace_graph()
+        its, _ = iterations_until_all_swapped(
+            g, ParallelConfig(seed=4), max_iterations=64, target_fraction=0.999
+        )
+        assert its <= 20
+
+    def test_frozen_graph_hits_cap(self):
+        # a single edge can never swap
+        g = EdgeList([0], [1], n=2)
+        its, stats = iterations_until_all_swapped(
+            g, ParallelConfig(seed=5), max_iterations=4
+        )
+        assert its == 4
+        assert stats.swapped_fraction == 0.0
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            iterations_until_all_swapped(trace_graph(), target_fraction=0.0)
+
+
+class TestMixingReport:
+    def test_full_report(self):
+        from repro.graph.stats import degree_assortativity
+
+        g = trace_graph()
+        report = mixing_report(
+            g, degree_assortativity, iterations=12, chains=3,
+            config=ParallelConfig(seed=6),
+        )
+        assert report.tau >= 1.0
+        assert report.ess > 0
+        assert 0.8 < report.r_hat < 2.0
+        assert report.iterations_to_all_swapped >= 1
+        assert 0 < report.acceptance_rate <= 1

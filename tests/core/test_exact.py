@@ -1,0 +1,150 @@
+"""Tests for exact small-space enumeration and exact uniformity checks."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    count_simple_graphs,
+    enumerate_simple_graphs,
+    exact_attachment_matrix,
+)
+from repro.core.probabilities import expected_degrees
+from repro.core.swap import swap_edges
+from repro.graph.degree import DegreeDistribution
+from repro.parallel.runtime import ParallelConfig
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize(
+        "degrees,counts,expected",
+        [
+            ([2], [6], 70),   # 2-regular on 6: 60 hexagons + 10 triangle pairs
+            ([1], [4], 3),    # perfect matchings of K4
+            ([3], [4], 1),    # K4 itself
+            ([1, 2], [2, 2], 2),  # labeled paths
+            ([1], [2], 1),    # single edge
+        ],
+    )
+    def test_known_counts(self, degrees, counts, expected):
+        assert count_simple_graphs(DegreeDistribution(degrees, counts)) == expected
+
+    def test_non_graphical_empty(self):
+        assert count_simple_graphs(DegreeDistribution([1, 3], [1, 3])) == 0
+
+    def test_every_graph_realizes_degrees(self):
+        dist = DegreeDistribution([1, 2, 3], [3, 2, 1])
+        graphs = enumerate_simple_graphs(dist)
+        target = np.sort(dist.expand())
+        for g in graphs:
+            assert g.is_simple()
+            np.testing.assert_array_equal(np.sort(g.degree_sequence()), target)
+
+    def test_all_distinct(self):
+        dist = DegreeDistribution([2], [6])
+        graphs = enumerate_simple_graphs(dist)
+        keys = {tuple(sorted(g.keys().tolist())) for g in graphs}
+        assert len(keys) == len(graphs)
+
+    def test_limit(self):
+        dist = DegreeDistribution([2], [6])
+        assert len(enumerate_simple_graphs(dist, limit=5)) == 5
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError, match="n <= 14"):
+            enumerate_simple_graphs(DegreeDistribution([2], [20]))
+
+    def test_matches_networkx_enumeration_count(self):
+        """Cross-check a nontrivial count by brute force over K_n edges."""
+        from itertools import combinations
+
+        dist = DegreeDistribution([1, 2, 3], [3, 2, 1])
+        n = dist.n
+        target = np.sort(dist.expand())
+        all_pairs = list(combinations(range(n), 2))
+        m = dist.m
+        brute = 0
+        for edge_set in combinations(all_pairs, m):
+            deg = np.zeros(n, dtype=int)
+            for a, b in edge_set:
+                deg[a] += 1
+                deg[b] += 1
+            # labeled check: vertex v must hit its own intended degree
+            if np.array_equal(deg, dist.expand()):
+                brute += 1
+        assert count_simple_graphs(dist) == brute
+
+
+class TestExactAttachment:
+    def test_degree_system_satisfied_exactly(self):
+        dist = DegreeDistribution([1, 2, 3], [3, 2, 1])
+        P = exact_attachment_matrix(dist)
+        np.testing.assert_allclose(expected_degrees(P, dist), dist.degrees, atol=1e-12)
+
+    def test_probabilities_valid_and_symmetric(self):
+        dist = DegreeDistribution([1, 2], [4, 3])
+        P = exact_attachment_matrix(dist)
+        assert (P >= 0).all() and (P <= 1).all()
+        np.testing.assert_allclose(P, P.T)
+
+    def test_non_graphical_raises(self):
+        with pytest.raises(ValueError, match="not graphical"):
+            exact_attachment_matrix(DegreeDistribution([1, 3], [1, 3]))
+
+    def test_heuristic_approximates_exact(self):
+        """The Section IV-A heuristic should land near the exact uniform
+        probabilities on a small instance."""
+        from repro.core.probabilities import generate_probabilities
+
+        dist = DegreeDistribution([1, 2], [4, 3])
+        exact = exact_attachment_matrix(dist)
+        heur = generate_probabilities(dist).P
+        assert np.abs(heur - exact).max() < 0.35
+
+    def test_swapped_sample_matches_exact(self):
+        """Empirical attachment over many swap-chain samples converges to
+        the exact uniform matrix — the strongest uniformity check."""
+        from repro.bench.harness import uniform_reference
+
+        dist = DegreeDistribution([1, 2], [4, 3])
+        exact = exact_attachment_matrix(dist)
+        from repro.graph.stats import attachment_probability_matrix
+
+        acc = np.zeros_like(exact)
+        samples = 300
+        for s in range(samples):
+            g = uniform_reference(dist, ParallelConfig(seed=s), swap_iterations=8)
+            acc += attachment_probability_matrix(g, dist)
+        acc /= samples
+        assert np.abs(acc - exact).max() < 0.08
+
+
+class TestSwapChainExactUniformity:
+    def test_chain_visits_states_uniformly(self):
+        """Chi-square of parallel-swap end states against the exact
+        uniform distribution over ALL labeled realizations."""
+        dist = DegreeDistribution([1, 2], [2, 2])  # 2 states
+        graphs = enumerate_simple_graphs(dist)
+        assert len(graphs) == 2
+        start = graphs[0]
+        counts = Counter()
+        runs = 600
+        for s in range(runs):
+            out = swap_edges(start, 8, ParallelConfig(seed=s))
+            counts[tuple(sorted(out.keys().tolist()))] += 1
+        assert len(counts) == 2
+        expected = runs / 2
+        chi2 = sum((c - expected) ** 2 / expected for c in counts.values())
+        assert chi2 < 10.8  # dof=1, 99.9%
+
+    def test_chain_covers_whole_space(self):
+        dist = DegreeDistribution([1, 2, 3], [3, 2, 1])
+        graphs = enumerate_simple_graphs(dist)
+        space = {tuple(sorted(g.keys().tolist())) for g in graphs}
+        seen = set()
+        start = graphs[0]
+        for s in range(400):
+            out = swap_edges(start, 10, ParallelConfig(seed=s))
+            seen.add(tuple(sorted(out.keys().tolist())))
+        assert seen == space

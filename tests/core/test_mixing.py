@@ -1,0 +1,92 @@
+"""Tests for mixing diagnostics (Figures 1 and 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mixing import (
+    average_attachment_matrix,
+    chung_lu_attachment_curve,
+    hub_attachment_curve,
+    l1_probability_error,
+)
+from repro.datasets.synthetic import deterministic_powerlaw
+from repro.graph.degree import DegreeDistribution
+from repro.graph.edgelist import EdgeList
+
+
+class TestL1Error:
+    def test_identical_zero(self):
+        a = np.random.default_rng(0).random((4, 4))
+        assert l1_probability_error(a, a) == 0.0
+
+    def test_known_value_unnormalized(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 0.5)
+        assert l1_probability_error(a, b, normalized=False) == pytest.approx(2.0)
+
+    def test_normalization(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 0.5)
+        assert l1_probability_error(a, b) == pytest.approx(1.0)
+
+    def test_symmetric_in_magnitude(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.random((3, 3)), rng.random((3, 3))
+        assert l1_probability_error(a, b, normalized=False) == pytest.approx(
+            l1_probability_error(b, a, normalized=False)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            l1_probability_error(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_zero_baseline(self):
+        assert l1_probability_error(np.ones((2, 2)), np.zeros((2, 2))) == 4.0
+
+
+class TestAttachmentCurves:
+    def test_average_matrix(self, small_dist):
+        g1 = EdgeList([0, 6], [6, 12], n=13)
+        g2 = EdgeList([0], [6], n=13)
+        avg = average_attachment_matrix([g1, g2], small_dist)
+        one = average_attachment_matrix([g1], small_dist)
+        two = average_attachment_matrix([g2], small_dist)
+        np.testing.assert_allclose(avg, (one + two) / 2)
+
+    def test_average_requires_graphs(self, small_dist):
+        with pytest.raises(ValueError):
+            average_attachment_matrix([], small_dist)
+
+    def test_hub_curve_shape(self, small_dist):
+        g = EdgeList([12, 12], [0, 6], n=13)
+        degrees, curve = hub_attachment_curve([g], small_dist)
+        np.testing.assert_array_equal(degrees, small_dist.degrees)
+        assert len(curve) == small_dist.n_classes
+        # hub-degree-1 cell: 1 edge of 6 possible pairs
+        assert curve[0] == pytest.approx(1 / 6)
+
+    def test_chung_lu_curve_formula(self, small_dist):
+        degrees, curve = chung_lu_attachment_curve(small_dist)
+        two_m = small_dist.stub_count()
+        np.testing.assert_allclose(curve, small_dist.d_max * degrees / two_m)
+
+    def test_chung_lu_curve_exceeds_one_on_skew(self):
+        """Figure 1's point: the closed form is not a probability."""
+        dist = deterministic_powerlaw(n=300, d_avg=4.0, d_max=120, n_classes=15)
+        _, curve = chung_lu_attachment_curve(dist, clip=False)
+        assert curve.max() > 1.0
+        _, clipped = chung_lu_attachment_curve(dist, clip=True)
+        assert clipped.max() <= 1.0
+
+    def test_empirical_hub_curve_is_probability(self):
+        """Unlike the closed form, measured probabilities stay in [0,1]."""
+        from repro.bench.harness import uniform_reference
+        from repro.parallel.runtime import ParallelConfig
+
+        dist = deterministic_powerlaw(n=300, d_avg=4.0, d_max=120, n_classes=15)
+        graphs = [
+            uniform_reference(dist, ParallelConfig(seed=s), swap_iterations=8)
+            for s in range(3)
+        ]
+        _, curve = hub_attachment_curve(graphs, dist)
+        assert (curve >= 0).all() and (curve <= 1).all()

@@ -1,0 +1,165 @@
+"""Tests for the probability-generation heuristic (Section IV-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.probabilities import (
+    ProbabilityResult,
+    expected_degrees,
+    generate_probabilities,
+)
+from repro.datasets.synthetic import deterministic_powerlaw
+from repro.graph.degree import DegreeDistribution
+
+
+class TestInvariants:
+    def check(self, dist, **kw):
+        res = generate_probabilities(dist, **kw)
+        P = res.P
+        k = dist.n_classes
+        assert P.shape == (k, k)
+        # valid probabilities
+        assert (P >= 0).all() and (P <= 1).all()
+        # symmetric
+        np.testing.assert_allclose(P, P.T)
+        # residuals non-negative and bounded by the input stubs
+        assert (res.residual_stubs >= -1e-9).all()
+        assert res.residual_stubs.sum() <= dist.stub_count()
+        return res
+
+    def test_small(self, small_dist):
+        self.check(small_dist)
+
+    def test_skewed(self, skewed_dist):
+        self.check(skewed_dist)
+
+    def test_regular_single_class(self):
+        # 3-regular on 8 vertices: one class; everything intra-class
+        dist = DegreeDistribution([3], [8])
+        res = self.check(dist)
+        assert res.P[0, 0] > 0
+
+    def test_two_hubs(self):
+        dist = DegreeDistribution([1, 5], [10, 2])
+        res = self.check(dist)
+        # hubs must mostly attach to the degree-1 mass
+        assert res.P[0, 1] > res.P[0, 0]
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_property_random_powerlaws(self, seed):
+        from repro.datasets.synthetic import sampled_powerlaw
+
+        dist = sampled_powerlaw(100, 2.2, 1, 30, seed=seed)
+        self.check(dist)
+
+    @pytest.mark.parametrize("order", ["desc_degree", "asc_degree", "desc_stubs"])
+    def test_orders(self, skewed_dist, order):
+        self.check(skewed_dist, order=order)
+
+    def test_unknown_order(self, small_dist):
+        with pytest.raises(ValueError):
+            generate_probabilities(small_dist, order="random")
+
+    def test_unknown_allocation(self, small_dist):
+        with pytest.raises(ValueError):
+            generate_probabilities(small_dist, allocation="thirds")
+
+    def test_bad_passes(self, small_dist):
+        with pytest.raises(ValueError):
+            generate_probabilities(small_dist, passes=0)
+
+
+class TestExpectedDegrees:
+    """The system of equations: Σ_j n_j P_ij − P_ii ≈ d_i."""
+
+    @pytest.mark.parametrize(
+        "dist_fixture", ["small_dist", "skewed_dist"]
+    )
+    def test_expected_degree_close(self, dist_fixture, request):
+        dist = request.getfixturevalue(dist_fixture)
+        res = generate_probabilities(dist)
+        got = expected_degrees(res.P, dist)
+        rel = np.abs(got - dist.degrees) / dist.degrees
+        assert rel.mean() < 0.05
+        assert rel.max() < 0.25
+
+    def test_regular_exact(self):
+        dist = DegreeDistribution([3], [8])
+        res = generate_probabilities(dist)
+        got = expected_degrees(res.P, dist)
+        assert got[0] == pytest.approx(3.0, rel=0.05)
+
+    def test_expected_edges_close_to_m(self, skewed_dist):
+        res = generate_probabilities(skewed_dist)
+        assert res.total_expected_edges == pytest.approx(skewed_dist.m, rel=0.06)
+
+    def test_residual_equals_degree_shortfall(self, skewed_dist):
+        """Unallocated stubs are exactly the expected-degree deficit."""
+        res = generate_probabilities(skewed_dist)
+        got = expected_degrees(res.P, skewed_dist)
+        shortfall = ((skewed_dist.degrees - got) * skewed_dist.counts).sum()
+        assert shortfall == pytest.approx(res.residual_stubs.sum(), abs=1.0)
+
+    def test_multi_pass_not_worse(self, skewed_dist):
+        one = generate_probabilities(skewed_dist, passes=1).residual_stubs.sum()
+        three = generate_probabilities(skewed_dist, passes=3).residual_stubs.sum()
+        assert three <= one + 1e-9
+
+    def test_halved_variant_single_pass_deficit(self, skewed_dist):
+        """One half-allocation sweep leaves a geometric remainder."""
+        res = generate_probabilities(skewed_dist, allocation="halved")
+        got = expected_degrees(res.P, skewed_dist)
+        rel = np.abs(got - skewed_dist.degrees) / skewed_dist.degrees
+        assert 0.1 < rel.mean() < 0.4
+
+    def test_halved_variant_converges_with_passes(self, skewed_dist):
+        res = generate_probabilities(skewed_dist, allocation="halved", passes=6)
+        got = expected_degrees(res.P, skewed_dist)
+        rel = np.abs(got - skewed_dist.degrees) / skewed_dist.degrees
+        assert rel.mean() < 0.02
+
+    def test_chung_lu_would_overflow_but_we_do_not(self):
+        """The motivating case: d_i d_j / 2m > 1 yet our P stays valid."""
+        dist = deterministic_powerlaw(n=300, d_avg=4.0, d_max=100, n_classes=12)
+        cl = np.outer(dist.degrees, dist.degrees) / dist.stub_count()
+        assert cl.max() > 1.0  # naive CL breaks on this input
+        res = generate_probabilities(dist)
+        assert res.P.max() <= 1.0
+        got = expected_degrees(res.P, dist)
+        rel = np.abs(got - dist.degrees) / dist.degrees
+        assert rel.mean() < 0.1
+
+
+class TestClampAblation:
+    def test_unclamped_requests_can_exceed_capacity(self, skewed_dist):
+        """Without the pair clamp, allocations may exceed what a simple
+        graph can host — demonstrating why the min() terms exist."""
+        free = generate_probabilities(
+            skewed_dist, clamp_pairs=False, clamp_stubs=False
+        )
+        clamped = generate_probabilities(skewed_dist)
+        # clamped residual may be larger (it refuses infeasible mass) but
+        # its P is what guarantees simplicity; the unclamped E may demand
+        # more edges between hub classes than exist vertex pairs
+        from repro.core.probabilities import _pair_capacity
+
+        cap = _pair_capacity(skewed_dist)
+        assert (free.expected_edge_counts - cap > 1e-9).any()
+        assert (clamped.expected_edge_counts <= cap + 1e-9).all()
+
+    def test_probability_clipped_even_without_clamps(self, skewed_dist):
+        res = generate_probabilities(skewed_dist, clamp_pairs=False, clamp_stubs=False)
+        assert (res.P <= 1.0).all()
+
+
+class TestCostAccounting:
+    def test_phase_recorded(self, small_dist):
+        from repro.parallel.cost_model import CostModel
+
+        cost = CostModel()
+        generate_probabilities(small_dist, cost=cost)
+        phase = cost.phase("probabilities")
+        assert phase.work == small_dist.n_classes**2
+        assert phase.depth == small_dist.n_classes

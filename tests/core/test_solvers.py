@@ -1,0 +1,64 @@
+"""Tests for the least-squares probability solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.probabilities import expected_degrees, generate_probabilities
+from repro.core.solvers import solve_probabilities_lsq
+from repro.datasets.synthetic import deterministic_powerlaw
+from repro.graph.degree import DegreeDistribution
+
+
+class TestSolveLSQ:
+    def test_valid_probabilities(self, skewed_dist):
+        res = solve_probabilities_lsq(skewed_dist)
+        assert (res.P >= 0).all() and (res.P <= 1).all()
+        np.testing.assert_allclose(res.P, res.P.T)
+
+    def test_exact_on_mild_distribution(self, small_dist):
+        res = solve_probabilities_lsq(small_dist)
+        got = expected_degrees(res.P, small_dist)
+        np.testing.assert_allclose(got, small_dist.degrees, rtol=1e-6)
+
+    def test_exact_on_skewed_distribution(self, skewed_dist):
+        """Where the heuristic leaves a residual, LSQ is exact."""
+        res = solve_probabilities_lsq(skewed_dist)
+        got = expected_degrees(res.P, skewed_dist)
+        rel = np.abs(got - skewed_dist.degrees) / skewed_dist.degrees
+        assert rel.max() < 1e-5
+
+    def test_beats_heuristic_accuracy(self):
+        dist = deterministic_powerlaw(800, 4.0, 150, 24)
+        lsq = expected_degrees(solve_probabilities_lsq(dist).P, dist)
+        heu = expected_degrees(generate_probabilities(dist).P, dist)
+        lsq_err = (np.abs(lsq - dist.degrees) / dist.degrees).mean()
+        heu_err = (np.abs(heu - dist.degrees) / dist.degrees).mean()
+        assert lsq_err <= heu_err + 1e-9
+
+    def test_empty(self):
+        res = solve_probabilities_lsq(DegreeDistribution([], []))
+        assert res.P.shape == (0, 0)
+
+    def test_usable_by_edge_skip(self, skewed_dist, cfg):
+        from repro.core.edge_skip import generate_edges
+
+        res = solve_probabilities_lsq(skewed_dist)
+        g = generate_edges(res.P, skewed_dist, cfg)
+        assert g.is_simple()
+        assert g.m == pytest.approx(skewed_dist.m, rel=0.15)
+
+    def test_usable_by_generate_graph(self, skewed_dist, cfg):
+        from repro.core.generate import generate_graph
+
+        res = solve_probabilities_lsq(skewed_dist)
+        g, report = generate_graph(
+            skewed_dist, swap_iterations=2, config=cfg, probabilities=res
+        )
+        assert g.is_simple()
+        assert report.probabilities is res
+
+    def test_residual_reporting(self, skewed_dist):
+        res = solve_probabilities_lsq(skewed_dist)
+        assert (res.residual_stubs >= 0).all()
+        # exact solve => essentially no residual
+        assert res.residual_stubs.sum() < 0.01 * skewed_dist.stub_count()

@@ -1,0 +1,123 @@
+"""Uniform-sampling validation of the swap MCMC (Milo et al. [22] style).
+
+The paper: "We have validated that our procedure produces a
+minimally-biased uniform sample by repeating several variations of an
+experiment from prior work [22].  These experiments demonstrate that a
+sample of graphs produced from repeated swaps matches an analytically
+expected sample."
+
+We use degree sequences whose simple-graph space is small and exactly
+countable:
+
+- all degrees 1 on 4 vertices → the 3 perfect matchings, uniform 1/3;
+- 2-regular on 6 vertices → 70 labeled graphs falling into two
+  isomorphism classes: one 6-cycle (60 graphs, p=6/7) or two triangles
+  (10 graphs, p=1/7).
+"""
+
+import numpy as np
+import pytest
+from collections import Counter
+
+from repro.core.swap import serial_swap_chain, swap_edges
+from repro.graph.edgelist import EdgeList
+from repro.parallel.runtime import ParallelConfig
+
+
+def graph_state(g: EdgeList) -> tuple:
+    """Canonical hashable identity of a labeled simple graph."""
+    pairs = np.sort(np.stack([g.u, g.v], axis=1), axis=1)
+    return tuple(sorted(map(tuple, pairs.tolist())))
+
+
+def six_cycle() -> EdgeList:
+    u = np.arange(6)
+    return EdgeList(u, (u + 1) % 6, 6)
+
+
+def count_components(g: EdgeList) -> int:
+    from repro.graph.components import component_sizes
+
+    return len(component_sizes(g))
+
+
+class TestMatchingsUniform:
+    """Degrees all 1 on 4 vertices: 3 states, each with probability 1/3."""
+
+    def test_parallel_chain(self):
+        start = EdgeList([0, 2], [1, 3], 4)
+        counts = Counter()
+        runs = 900
+        for s in range(runs):
+            counts[graph_state(swap_edges(start, 6, ParallelConfig(seed=s)))] += 1
+        assert len(counts) == 3
+        expected = runs / 3
+        chi2 = sum((c - expected) ** 2 / expected for c in counts.values())
+        # dof=2; 99.9% critical value 13.8
+        assert chi2 < 13.8
+
+    def test_serial_chain(self):
+        start = EdgeList([0, 2], [1, 3], 4)
+        counts = Counter()
+        rng = np.random.default_rng(0)
+        state = serial_swap_chain(start, 50, rng)
+        samples = 900
+        for _ in range(samples):
+            state = serial_swap_chain(state, 10, rng)
+            counts[graph_state(state)] += 1
+        assert len(counts) == 3
+        expected = samples / 3
+        chi2 = sum((c - expected) ** 2 / expected for c in counts.values())
+        # correlated samples inflate variance; generous 3x slack on the
+        # dof=2 99.9% critical value
+        assert chi2 < 3 * 13.8
+
+
+class TestTwoRegularUniform:
+    """2-regular on 6 vertices: P(single 6-cycle) = 60/70 = 6/7."""
+
+    EXPECT = 6 / 7
+
+    def test_parallel_chain(self):
+        runs = 500
+        hits = 0
+        for s in range(runs):
+            out = swap_edges(six_cycle(), 12, ParallelConfig(seed=s, threads=4))
+            assert out.is_simple()
+            hits += count_components(out) == 1
+        frac = hits / runs
+        sd = np.sqrt(self.EXPECT * (1 - self.EXPECT) / runs)
+        assert abs(frac - self.EXPECT) < 4 * sd + 0.01
+
+    def test_serial_chain(self):
+        rng = np.random.default_rng(1)
+        state = serial_swap_chain(six_cycle(), 500, rng)
+        samples = 500
+        hits = 0
+        for _ in range(samples):
+            state = serial_swap_chain(state, 20, rng)
+            hits += count_components(state) == 1
+        frac = hits / samples
+        sd = np.sqrt(self.EXPECT * (1 - self.EXPECT) / samples)
+        # autocorrelation slack
+        assert abs(frac - self.EXPECT) < 6 * sd + 0.01
+
+    def test_both_classes_reachable(self):
+        """The chain is irreducible: both isomorphism classes appear."""
+        seen = set()
+        for s in range(60):
+            out = swap_edges(six_cycle(), 12, ParallelConfig(seed=s))
+            seen.add(count_components(out))
+        assert seen == {1, 2}
+
+
+class TestStateSpaceExploration:
+    def test_all_70_labeled_states_visited(self):
+        """Long sampling visits the entire 2-regular state space."""
+        states = set()
+        rng = np.random.default_rng(2)
+        state = six_cycle()
+        for _ in range(3000):
+            state = serial_swap_chain(state, 5, rng)
+            states.add(graph_state(state))
+        assert len(states) == 70

@@ -1,0 +1,67 @@
+"""Tests for the Table I dataset catalog."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.catalog import SPECS, DatasetSpec, available, load
+
+
+class TestCatalog:
+    def test_all_eight_datasets(self):
+        assert available() == [
+            "Meso", "as20", "WikiTalk", "DBPedia",
+            "LiveJournal", "Friendster", "Twitter", "uk-2005",
+        ]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("Orkut")
+
+    @pytest.mark.parametrize("name", ["Meso", "as20"])
+    def test_full_scale_skewed_instances(self, name):
+        spec = SPECS[name]
+        dist = load(name, scale=1.0)
+        assert dist.n == spec.n
+        assert dist.is_graphical()
+        assert dist.d_avg == pytest.approx(spec.d_avg, rel=0.02)
+
+    @pytest.mark.parametrize("name", list(SPECS))
+    def test_default_scale_tractable_and_graphical(self, name):
+        dist = load(name)
+        assert dist.is_graphical()
+        assert dist.n <= 50_000
+        assert dist.d_avg == pytest.approx(SPECS[name].d_avg, rel=0.02)
+
+    @pytest.mark.parametrize("name", list(SPECS))
+    def test_average_degree_scale_invariant(self, name):
+        """Scaling preserves density (m scales with n)."""
+        spec = SPECS[name]
+        dist = spec.synthesize(min(1.0, spec.default_scale * 2))
+        assert dist.d_avg == pytest.approx(spec.d_avg, rel=0.03)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            SPECS["Meso"].scaled_shape(0.0)
+        with pytest.raises(ValueError):
+            SPECS["Meso"].scaled_shape(1.5)
+
+    def test_skewed_flags(self):
+        assert SPECS["Meso"].skewed and SPECS["as20"].skewed
+        assert not SPECS["LiveJournal"].skewed
+
+    def test_d_avg_property(self):
+        spec = SPECS["LiveJournal"]
+        assert spec.d_avg == pytest.approx(2 * spec.m / spec.n)
+
+    def test_scaled_shape_monotone(self):
+        """Bigger scale => at least as many vertices and hub degree."""
+        spec = SPECS["WikiTalk"]
+        n1, d1, c1 = spec.scaled_shape(0.005)
+        n2, d2, c2 = spec.scaled_shape(0.05)
+        assert n2 > n1 and d2 >= d1 and c2 >= c1
+
+    def test_skew_regime_preserved_at_default_scale(self):
+        """The quality-study twins keep d_max² > 2m (the CL-breaking skew)."""
+        for name in ("Meso", "as20", "WikiTalk", "DBPedia"):
+            dist = load(name)
+            assert dist.d_max**2 > dist.stub_count(), name

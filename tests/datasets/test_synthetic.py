@@ -1,0 +1,192 @@
+"""Tests for synthetic power-law distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.synthetic import (
+    as733_like,
+    deterministic_powerlaw,
+    fix_parity,
+    sampled_powerlaw,
+)
+
+
+class TestFixParity:
+    def test_even_unchanged(self):
+        d, c = fix_parity(np.asarray([1, 2]), np.asarray([2, 2]))
+        np.testing.assert_array_equal(d, [1, 2])
+        np.testing.assert_array_equal(c, [2, 2])
+
+    def test_odd_repaired(self):
+        d, c = fix_parity(np.asarray([1, 2]), np.asarray([1, 2]))
+        assert int((d * c).sum()) % 2 == 0
+        assert c.sum() == 3  # vertex count preserved
+
+    def test_creates_new_class_if_needed(self):
+        d, c = fix_parity(np.asarray([3]), np.asarray([1]))
+        assert int((d * c).sum()) % 2 == 0
+        assert c.sum() == 1
+
+    def test_degree_one_moves_up(self):
+        d, c = fix_parity(np.asarray([1]), np.asarray([3]))
+        assert int((d * c).sum()) % 2 == 0
+        assert 2 in d
+
+
+class TestDeterministicPowerlaw:
+    def test_hits_n_dmax(self):
+        dist = deterministic_powerlaw(n=1000, d_avg=4.0, d_max=80, n_classes=15)
+        assert dist.n == 1000
+        assert dist.d_max == 80
+        assert dist.is_graphical()
+
+    def test_davg_close(self):
+        dist = deterministic_powerlaw(n=2000, d_avg=6.0, d_max=100, n_classes=20)
+        assert dist.d_avg == pytest.approx(6.0, rel=0.05)
+
+    def test_deterministic(self):
+        a = deterministic_powerlaw(500, 4.0, 50, 12)
+        b = deterministic_powerlaw(500, 4.0, 50, 12)
+        assert a == b
+
+    def test_skew_shape(self):
+        """Counts decrease with degree (power-law body)."""
+        dist = deterministic_powerlaw(2000, 3.5, 100, 20)
+        assert dist.counts[0] > dist.counts[-1]
+        assert dist.counts[-1] >= 1
+
+    def test_dmax_too_large(self):
+        with pytest.raises(ValueError):
+            deterministic_powerlaw(100, 3.0, 100, 5)
+
+    def test_n_smaller_than_classes(self):
+        with pytest.raises(ValueError):
+            deterministic_powerlaw(5, 2.0, 4, 10)
+
+    def test_extreme_hub_regime_still_graphical(self):
+        """d_max near n (Twitter-twin regime) must stay realizable."""
+        dist = deterministic_powerlaw(n=1000, d_avg=50.0, d_max=999, n_classes=100)
+        assert dist.is_graphical()
+        assert dist.d_max >= 500  # the repair loop may shave, but not kill, the hub
+
+    @given(
+        st.integers(200, 2000),
+        st.floats(2.0, 12.0),
+        st.integers(20, 150),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_always_graphical(self, n, d_avg, d_max):
+        d_max = min(d_max, n - 1)
+        classes = min(12, d_max - 1)
+        dist = deterministic_powerlaw(n, d_avg, d_max, classes)
+        assert dist.is_graphical()
+        assert dist.n == n
+
+
+class TestSampledPowerlaw:
+    def test_n_vertices(self):
+        dist = sampled_powerlaw(300, 2.5, 1, 40, seed=0)
+        assert dist.n == 300
+
+    def test_even_sum(self):
+        for s in range(5):
+            dist = sampled_powerlaw(101, 2.0, 1, 30, seed=s)
+            assert dist.stub_count() % 2 == 0
+
+    def test_bounds(self):
+        dist = sampled_powerlaw(500, 2.5, 3, 25, seed=1)
+        assert dist.degrees[0] >= 2  # parity fix may shift one vertex by 1
+        assert dist.d_max <= 26
+
+    def test_reproducible(self):
+        assert sampled_powerlaw(100, 2.0, 1, 20, seed=4) == sampled_powerlaw(
+            100, 2.0, 1, 20, seed=4
+        )
+
+    def test_heavier_tail_with_smaller_gamma(self):
+        shallow = sampled_powerlaw(2000, 1.5, 1, 100, seed=2)
+        steep = sampled_powerlaw(2000, 3.5, 1, 100, seed=2)
+        assert shallow.d_avg > steep.d_avg
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            sampled_powerlaw(0, 2.0)
+        with pytest.raises(ValueError):
+            sampled_powerlaw(10, 2.0, d_min=0)
+
+
+class TestAS733Like:
+    def test_shape(self):
+        dist = as733_like()
+        assert dist.n == 6500
+        assert dist.d_max == 1500
+        assert dist.is_graphical()
+        # the skew that breaks Chung-Lu: d_max^2 > 2m
+        assert dist.d_max**2 > dist.stub_count()
+
+
+class TestOtherFamilies:
+    def test_regular(self):
+        from repro.datasets.synthetic import regular_distribution
+
+        d = regular_distribution(10, 3)
+        assert d.n_classes == 1 and d.n == 10 and d.d_max == 3
+        assert d.is_graphical()
+
+    def test_regular_validation(self):
+        from repro.datasets.synthetic import regular_distribution
+
+        with pytest.raises(ValueError):
+            regular_distribution(5, 5)
+        with pytest.raises(ValueError):
+            regular_distribution(5, 3)  # odd stub total
+
+    def test_lognormal(self):
+        from repro.datasets.synthetic import lognormal_distribution
+
+        d = lognormal_distribution(500, seed=1)
+        assert d.n == 500
+        assert d.stub_count() % 2 == 0
+        assert d.degrees.min() >= 1
+
+    def test_lognormal_dmax_cap(self):
+        from repro.datasets.synthetic import lognormal_distribution
+
+        d = lognormal_distribution(500, mu=2.5, sigma=1.0, d_max=30, seed=2)
+        assert d.d_max <= 31  # parity fix may add one
+
+    def test_bimodal(self):
+        from repro.datasets.synthetic import bimodal_distribution
+
+        d = bimodal_distribution(100, low=2, high=10, high_fraction=0.2)
+        assert d.n == 100
+        assert d.n_classes in (2, 3)  # parity fix may split a class
+        assert d.is_graphical()
+
+    def test_bimodal_validation(self):
+        from repro.datasets.synthetic import bimodal_distribution
+
+        with pytest.raises(ValueError):
+            bimodal_distribution(100, high_fraction=0.0)
+        with pytest.raises(ValueError):
+            bimodal_distribution(100, low=20, high=10)
+
+    @pytest.mark.parametrize("family", ["regular", "lognormal", "bimodal"])
+    def test_pipeline_handles_every_family(self, family):
+        """The generator must not be power-law-specific."""
+        from repro import ParallelConfig, generate_graph
+        from repro.datasets.synthetic import (
+            bimodal_distribution,
+            lognormal_distribution,
+            regular_distribution,
+        )
+
+        dist = {
+            "regular": lambda: regular_distribution(60, 4),
+            "lognormal": lambda: lognormal_distribution(200, seed=3),
+            "bimodal": lambda: bimodal_distribution(150, low=2, high=12),
+        }[family]()
+        g, _ = generate_graph(dist, swap_iterations=2, config=ParallelConfig(seed=4))
+        assert g.is_simple()
+        assert g.m == pytest.approx(dist.m, rel=0.25)

@@ -1,0 +1,106 @@
+"""Tests for bidegree distributions and directed graphicality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.directed.degree import DirectedDegreeDistribution, is_digraphical
+from repro.directed.edgelist import DirectedEdgeList
+from repro.directed.havel_hakimi import kleitman_wang_graph
+
+
+class TestIsDigraphical:
+    def test_empty(self):
+        assert is_digraphical([], [])
+
+    def test_single_arc(self):
+        assert is_digraphical([1, 0], [0, 1])
+
+    def test_cycle(self):
+        assert is_digraphical([1, 1, 1], [1, 1, 1])
+
+    def test_unbalanced_sums(self):
+        assert not is_digraphical([2, 0], [0, 1])
+
+    def test_out_degree_too_large(self):
+        assert not is_digraphical([2, 0], [1, 1])
+
+    def test_complete_digraph(self):
+        assert is_digraphical([2, 2, 2], [2, 2, 2])
+
+    def test_impossible_concentration(self):
+        # one vertex wants out 3 but only 3 others exist... n=4 ok; n=3 not
+        assert not is_digraphical([3, 0, 0], [0, 1, 2])
+
+    def test_negative(self):
+        assert not is_digraphical([-1, 1], [0, 0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            is_digraphical([1], [1, 0])
+
+    @given(st.integers(0, 2**31), st.integers(2, 8))
+    @settings(max_examples=150, deadline=None)
+    def test_property_matches_kleitman_wang(self, seed, k):
+        """FCA condition and the constructive realization must agree."""
+        rng = np.random.default_rng(seed)
+        o = rng.integers(0, k, k)
+        i = rng.integers(0, k, k)
+        if o.sum() != i.sum() or o.sum() == 0 or ((o == 0) & (i == 0)).any():
+            return
+        fca = is_digraphical(o, i)
+        try:
+            kleitman_wang_graph(DirectedDegreeDistribution.from_sequences(o, i))
+            kw = True
+        except ValueError:
+            kw = False
+        assert fca == kw
+
+    def test_real_digraphs_always_digraphical(self):
+        rng = np.random.default_rng(3)
+        g = DirectedEdgeList(rng.integers(0, 30, 100), rng.integers(0, 30, 100)).simplify()
+        assert is_digraphical(g.out_degrees(), g.in_degrees())
+
+
+class TestDirectedDegreeDistribution:
+    def test_from_sequences(self):
+        d = DirectedDegreeDistribution.from_sequences([1, 1, 0], [0, 1, 1])
+        assert d.n == 3
+        assert d.m == 2
+        assert d.n_classes == 3
+
+    def test_from_graph_roundtrip(self):
+        g = DirectedEdgeList([0, 1, 2], [1, 2, 0])
+        d = DirectedDegreeDistribution.from_graph(g)
+        out_seq, in_seq = d.expand()
+        np.testing.assert_array_equal(np.sort(out_seq), np.sort(g.out_degrees()))
+        np.testing.assert_array_equal(np.sort(in_seq), np.sort(g.in_degrees()))
+
+    def test_rejects_unbalanced(self):
+        with pytest.raises(ValueError, match="stub total"):
+            DirectedDegreeDistribution([1], [2], [1])
+
+    def test_rejects_zero_zero_class(self):
+        with pytest.raises(ValueError):
+            DirectedDegreeDistribution([0], [0], [1])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            DirectedDegreeDistribution([2, 1], [0, 1], [1, 2])
+
+    def test_zero_zero_dropped_in_from_sequences(self):
+        d = DirectedDegreeDistribution.from_sequences([1, 0, 0], [0, 1, 0])
+        assert d.n == 2
+
+    def test_class_offsets(self):
+        d = DirectedDegreeDistribution([0, 1], [1, 0], [3, 3])
+        np.testing.assert_array_equal(d.class_offsets(), [0, 3, 6])
+
+    def test_equality(self):
+        a = DirectedDegreeDistribution([1], [1], [2])
+        b = DirectedDegreeDistribution([1], [1], [2])
+        assert a == b
+
+    def test_repr(self):
+        d = DirectedDegreeDistribution([1], [1], [4])
+        assert "classes=1" in repr(d)

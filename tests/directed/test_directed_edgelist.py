@@ -1,0 +1,88 @@
+"""Tests for the directed edge-list container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.directed.edgelist import DirectedEdgeList, pack_arcs, unpack_arcs
+
+
+class TestPackArcs:
+    def test_order_sensitive(self):
+        a = pack_arcs(np.asarray([1]), np.asarray([2]))
+        b = pack_arcs(np.asarray([2]), np.asarray([1]))
+        assert a[0] != b[0]
+
+    def test_roundtrip(self):
+        u = np.asarray([3, 0, 9])
+        v = np.asarray([1, 5, 9])
+        uu, vv = unpack_arcs(pack_arcs(u, v))
+        np.testing.assert_array_equal(uu, u)
+        np.testing.assert_array_equal(vv, v)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pack_arcs(np.asarray([-1]), np.asarray([0]))
+
+    @given(st.lists(st.tuples(st.integers(0, 2**20), st.integers(0, 2**20)), max_size=40))
+    def test_property_roundtrip(self, pairs):
+        if not pairs:
+            return
+        u = np.asarray([p[0] for p in pairs])
+        v = np.asarray([p[1] for p in pairs])
+        uu, vv = unpack_arcs(pack_arcs(u, v))
+        np.testing.assert_array_equal(uu, u)
+        np.testing.assert_array_equal(vv, v)
+
+
+class TestDirectedEdgeList:
+    def test_basic(self):
+        g = DirectedEdgeList([0, 1], [1, 0])
+        assert g.n == 2 and g.m == 2
+        assert g.is_simple()  # antiparallel arcs are legal
+
+    def test_self_loop_not_simple(self):
+        assert not DirectedEdgeList([0], [0]).is_simple()
+
+    def test_duplicate_arc_not_simple(self):
+        g = DirectedEdgeList([0, 0], [1, 1])
+        assert g.count_multi_arcs() == 1
+        assert not g.is_simple()
+
+    def test_reversed_arcs_not_duplicates(self):
+        assert DirectedEdgeList([0, 1], [1, 0]).count_multi_arcs() == 0
+
+    def test_simplify(self):
+        g = DirectedEdgeList([0, 0, 1, 2], [1, 1, 0, 2])
+        s = g.simplify()
+        assert s.is_simple()
+        assert s.m == 2  # {0->1, 1->0}; loop 2->2 dropped
+
+    def test_degrees(self):
+        g = DirectedEdgeList([0, 0, 1], [1, 2, 2], n=3)
+        np.testing.assert_array_equal(g.out_degrees(), [2, 1, 0])
+        np.testing.assert_array_equal(g.in_degrees(), [0, 1, 2])
+
+    def test_degree_sums_equal_m(self):
+        rng = np.random.default_rng(0)
+        g = DirectedEdgeList(rng.integers(0, 9, 40), rng.integers(0, 9, 40))
+        assert g.out_degrees().sum() == g.m == g.in_degrees().sum()
+
+    def test_same_graph_orientation_sensitive(self):
+        a = DirectedEdgeList([0], [1], n=2)
+        b = DirectedEdgeList([1], [0], n=2)
+        assert not a.same_graph(b)
+        assert a.same_graph(a.copy())
+
+    def test_keys_roundtrip(self):
+        g = DirectedEdgeList([4, 2], [0, 7])
+        g2 = DirectedEdgeList.from_keys(g.keys(), g.n)
+        assert g2.same_graph(g)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DirectedEdgeList([0, 1], [1])
+        with pytest.raises(ValueError):
+            DirectedEdgeList([-1], [0])
+        with pytest.raises(ValueError):
+            DirectedEdgeList([5], [0], n=2)

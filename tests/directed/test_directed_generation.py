@@ -1,0 +1,243 @@
+"""Tests for directed realization, swaps, and the end-to-end pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.directed import (
+    DirectedDegreeDistribution,
+    DirectedSwapStats,
+    directed_chung_lu_om,
+    directed_erased_chung_lu,
+    directed_generate_edges,
+    directed_generate_graph,
+    directed_probabilities,
+    directed_swap_edges,
+    kleitman_wang_graph,
+)
+from repro.directed.edge_skip import offdiag_unrank
+from repro.directed.edgelist import DirectedEdgeList
+from repro.directed.probabilities import expected_in_degrees, expected_out_degrees
+from repro.parallel.runtime import ParallelConfig
+
+
+def random_bidegree(n, m, seed) -> DirectedDegreeDistribution:
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, n, 2 * m)
+    v = rng.integers(0, n, 2 * m)
+    g = DirectedEdgeList(u[u != v][:m], v[u != v][:m], n).simplify()
+    return DirectedDegreeDistribution.from_graph(g)
+
+
+@pytest.fixture(scope="module")
+def dist():
+    return random_bidegree(300, 1200, 0)
+
+
+class TestKleitmanWang:
+    def test_realizes_exactly(self, dist):
+        g = kleitman_wang_graph(dist)
+        assert g.is_simple()
+        out_seq, in_seq = dist.expand()
+        np.testing.assert_array_equal(np.sort(g.out_degrees()), np.sort(out_seq))
+        np.testing.assert_array_equal(np.sort(g.in_degrees()), np.sort(in_seq))
+
+    def test_cycle(self):
+        d = DirectedDegreeDistribution([1], [1], [5])
+        g = kleitman_wang_graph(d)
+        assert g.m == 5 and g.is_simple()
+
+    def test_unbalanced_sums_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="stub total"):
+            DirectedDegreeDistribution([0, 2], [2, 1], [2, 1])
+
+    def test_non_digraphical_raises(self):
+        # balanced sums but not realizable as a simple digraph
+        with pytest.raises(ValueError, match="not digraphical"):
+            kleitman_wang_graph(
+                DirectedDegreeDistribution.from_sequences([3, 0, 0], [0, 1, 2])
+            )
+
+    def test_matches_fca(self, dist):
+        assert dist.is_digraphical()
+
+
+class TestOffdiagUnrank:
+    def test_bijection(self):
+        size = 7
+        end = size * (size - 1)
+        a, b = offdiag_unrank(np.arange(end), size)
+        assert (a != b).all()
+        pairs = set(zip(a.tolist(), b.tolist()))
+        assert len(pairs) == end
+
+    @given(st.integers(2, 40))
+    def test_property_all_pairs(self, size):
+        end = size * (size - 1)
+        a, b = offdiag_unrank(np.arange(end), size)
+        assert a.min() >= 0 and a.max() < size
+        assert b.min() >= 0 and b.max() < size
+        assert (a != b).all()
+
+
+class TestDirectedSwaps:
+    def test_preserves_bidegrees(self, dist):
+        g = kleitman_wang_graph(dist)
+        out = directed_swap_edges(g, 5, ParallelConfig(seed=1, threads=4))
+        np.testing.assert_array_equal(out.out_degrees(), g.out_degrees())
+        np.testing.assert_array_equal(out.in_degrees(), g.in_degrees())
+
+    def test_preserves_simplicity(self, dist):
+        g = kleitman_wang_graph(dist)
+        assert directed_swap_edges(g, 8, ParallelConfig(seed=2)).is_simple()
+
+    def test_actually_moves(self, dist):
+        g = kleitman_wang_graph(dist)
+        out = directed_swap_edges(g, 3, ParallelConfig(seed=3))
+        assert not out.same_graph(g)
+
+    def test_stats(self, dist):
+        g = kleitman_wang_graph(dist)
+        stats = DirectedSwapStats()
+        directed_swap_edges(g, 4, ParallelConfig(seed=4), stats=stats)
+        assert stats.iterations == 4
+        assert stats.proposed == 4 * (g.m // 2)
+        assert (
+            stats.accepted + stats.rejected_duplicate + stats.rejected_self_loop
+            == stats.proposed
+        )
+        assert 0 < stats.acceptance_rate <= 1
+        fr = stats.swapped_fraction_per_iteration
+        assert all(b >= a for a, b in zip(fr, fr[1:]))
+
+    def test_simplifies_multigraph(self, dist):
+        g = directed_chung_lu_om(dist, ParallelConfig(seed=5))
+        loops0 = g.count_self_loops()
+        multi0 = g.count_multi_arcs()
+        assert loops0 + multi0 > 0
+        out = directed_swap_edges(g, 25, ParallelConfig(seed=5))
+        assert out.count_self_loops() <= loops0
+        assert out.count_multi_arcs() <= multi0
+        np.testing.assert_array_equal(out.out_degrees(), g.out_degrees())
+        np.testing.assert_array_equal(out.in_degrees(), g.in_degrees())
+
+    def test_zero_iterations(self, dist):
+        g = kleitman_wang_graph(dist)
+        assert directed_swap_edges(g, 0, ParallelConfig(seed=0)).same_graph(g)
+
+    def test_negative_iterations(self, dist):
+        g = kleitman_wang_graph(dist)
+        with pytest.raises(ValueError):
+            directed_swap_edges(g, -1)
+
+    def test_reproducible(self, dist):
+        g = kleitman_wang_graph(dist)
+        a = directed_swap_edges(g, 3, ParallelConfig(seed=9))
+        b = directed_swap_edges(g, 3, ParallelConfig(seed=9))
+        assert a.same_graph(b)
+
+
+class TestDirectedChungLu:
+    def test_arc_count_exact(self, dist):
+        g = directed_chung_lu_om(dist, ParallelConfig(seed=1))
+        assert g.m == dist.m
+
+    def test_erased_simple(self, dist):
+        assert directed_erased_chung_lu(dist, ParallelConfig(seed=1)).is_simple()
+
+    def test_degrees_in_expectation(self, dist):
+        runs = 15
+        acc_out = np.zeros(dist.n)
+        for s in range(runs):
+            acc_out += directed_chung_lu_om(dist, ParallelConfig(seed=s)).out_degrees()
+        out_seq, _ = dist.expand()
+        rel = np.abs(acc_out / runs - out_seq).sum() / out_seq.sum()
+        assert rel < 0.15
+
+    def test_empty(self):
+        d = DirectedDegreeDistribution([], [], [])
+        assert directed_chung_lu_om(d).m == 0
+
+
+class TestDirectedProbabilities:
+    def test_valid_and_balanced(self, dist):
+        res = directed_probabilities(dist)
+        assert (res.P >= 0).all() and (res.P <= 1).all()
+        assert res.total_expected_arcs == pytest.approx(dist.m, rel=0.05)
+
+    def test_expected_degrees_close(self, dist):
+        res = directed_probabilities(dist)
+        eo = expected_out_degrees(res.P, dist)
+        ei = expected_in_degrees(res.P, dist)
+        mo = dist.out_degrees > 0
+        mi = dist.in_degrees > 0
+        assert (np.abs(eo - dist.out_degrees)[mo] / dist.out_degrees[mo]).mean() < 0.05
+        assert (np.abs(ei - dist.in_degrees)[mi] / dist.in_degrees[mi]).mean() < 0.05
+
+    def test_residuals_nonnegative(self, dist):
+        res = directed_probabilities(dist)
+        assert (res.residual_out_stubs >= -1e-9).all()
+        assert (res.residual_in_stubs >= -1e-9).all()
+
+    def test_bad_passes(self, dist):
+        with pytest.raises(ValueError):
+            directed_probabilities(dist, passes=0)
+
+
+class TestDirectedEdgeSkip:
+    def test_output_simple(self, dist):
+        res = directed_probabilities(dist)
+        g = directed_generate_edges(res.P, dist, ParallelConfig(seed=1))
+        assert g.is_simple()
+
+    def test_probability_one_complete_loopless(self):
+        d = DirectedDegreeDistribution([2], [2], [3])  # single class, size 3
+        P = np.ones((1, 1))
+        g = directed_generate_edges(P, d, ParallelConfig(seed=0))
+        assert g.m == 3 * 2  # all ordered pairs except loops
+        assert g.is_simple()
+
+    def test_probability_zero(self, dist):
+        P = np.zeros((dist.n_classes, dist.n_classes))
+        assert directed_generate_edges(P, dist, ParallelConfig(seed=0)).m == 0
+
+    def test_bad_shape(self, dist):
+        with pytest.raises(ValueError):
+            directed_generate_edges(np.zeros((2, 2)), dist)
+
+    def test_asymmetric_P_is_legal(self):
+        """Directed probabilities need not be symmetric."""
+        d = DirectedDegreeDistribution([0, 2], [2, 0], [4, 4])
+        P = np.zeros((2, 2))
+        P[1, 0] = 0.5  # class 1 (out=2) sources -> class 0 (in=2) targets
+        g = directed_generate_edges(P, d, ParallelConfig(seed=1))
+        assert g.is_simple()
+        if g.m:
+            offsets = d.class_offsets()
+            assert (g.u >= offsets[1]).all()
+            assert (g.v < offsets[1]).all()
+
+
+class TestEndToEnd:
+    def test_pipeline(self, dist):
+        g, report = directed_generate_graph(
+            dist, swap_iterations=4, config=ParallelConfig(seed=7, threads=4)
+        )
+        assert g.is_simple()
+        assert g.m == pytest.approx(dist.m, rel=0.1)
+        assert report.swap_stats.iterations == 4
+        assert set(report.phase_seconds) == {
+            "probabilities", "edge_generation", "swap",
+        }
+
+    def test_reproducible(self, dist):
+        a, _ = directed_generate_graph(dist, swap_iterations=2, config=ParallelConfig(seed=3))
+        b, _ = directed_generate_graph(dist, swap_iterations=2, config=ParallelConfig(seed=3))
+        assert a.same_graph(b)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_property_random_bidegrees(self, seed):
+        d = random_bidegree(80, 240, seed)
+        g, _ = directed_generate_graph(d, swap_iterations=2, config=ParallelConfig(seed=seed))
+        assert g.is_simple()

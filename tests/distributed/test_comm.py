@@ -1,0 +1,85 @@
+"""Tests for the BSP communication engine."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.comm import AlphaBetaModel, BSPEngine
+
+
+class TestBSPEngine:
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            BSPEngine(0)
+
+    def test_message_delivered_next_superstep(self):
+        eng = BSPEngine(2)
+        seen = {}
+
+        eng.superstep(lambda r, inbox: {1 - r: np.asarray([r * 10])})
+        def receive(rank, inbox):
+            seen[rank] = {src: msg.tolist() for src, msg in inbox.items()}
+            return {}
+        eng.superstep(receive)
+        assert seen[0] == {1: [10]}
+        assert seen[1] == {0: [0]}
+
+    def test_no_same_step_delivery(self):
+        eng = BSPEngine(2)
+        got = {}
+
+        def send_and_check(rank, inbox):
+            got[rank] = dict(inbox)
+            return {1 - rank: np.asarray([1])}
+
+        eng.superstep(send_and_check)
+        assert got[0] == {} and got[1] == {}
+
+    def test_self_send(self):
+        eng = BSPEngine(1)
+        eng.superstep(lambda r, inbox: {0: np.asarray([7])})
+        inbox = eng.drain(0)
+        assert inbox[0].tolist() == [7]
+
+    def test_invalid_destination(self):
+        eng = BSPEngine(2)
+        with pytest.raises(ValueError, match="invalid rank"):
+            eng.superstep(lambda r, inbox: {5: np.asarray([1])})
+
+    def test_stats_metered(self):
+        eng = BSPEngine(3)
+        eng.superstep(lambda r, inbox: {(r + 1) % 3: np.arange(4)})
+        assert eng.stats.supersteps == 1
+        assert eng.stats.messages == 3
+        assert eng.stats.items == 12
+        assert eng.stats.per_step_max_messages == [1]
+        assert eng.stats.per_step_max_items == [4]
+
+    def test_simulated_time_accumulates(self):
+        eng = BSPEngine(2, model=AlphaBetaModel(alpha=1.0, beta=0.0, compute_rate=1.0))
+        eng.superstep(lambda r, inbox: {1 - r: np.asarray([1])}, compute_items=2.0)
+        # compute 2s + alpha * 1 message
+        assert eng.simulated_seconds == pytest.approx(3.0)
+
+    def test_payload_accumulation_same_pair(self):
+        """Two sends rank->dest in one superstep concatenate."""
+        eng = BSPEngine(2)
+
+        def fn(rank, inbox):
+            if rank == 0:
+                return {1: np.asarray([1, 2])}
+            return {}
+
+        eng.superstep(fn)
+        eng.superstep(fn)  # second round: old mail replaced by drain below
+        inbox = eng.drain(1)
+        assert inbox[0].tolist() == [1, 2]
+
+
+class TestAlphaBetaModel:
+    def test_superstep_seconds(self):
+        m = AlphaBetaModel(alpha=2.0, beta=0.5, compute_rate=10.0)
+        assert m.superstep_seconds(20, 3, 4) == pytest.approx(2 + 6 + 2)
+
+    def test_defaults_sane(self):
+        m = AlphaBetaModel()
+        assert m.alpha > m.beta

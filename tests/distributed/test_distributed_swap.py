@@ -1,0 +1,124 @@
+"""Tests for distributed-memory edge switching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import distributed_swap_edges
+from repro.distributed.partition import block_partition, key_owner
+from repro.graph.edgelist import EdgeList
+from repro.parallel.runtime import ParallelConfig
+
+
+def random_simple_graph(n, m, seed):
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, n, 3 * m)
+    v = rng.integers(0, n, 3 * m)
+    keep = u != v
+    g = EdgeList(u[keep], v[keep], n).simplify()
+    return EdgeList(g.u[:m], g.v[:m], n)
+
+
+class TestPartition:
+    def test_block_partition_covers(self):
+        parts = block_partition(10, 3)
+        assert len(parts) == 3
+        np.testing.assert_array_equal(np.concatenate(parts), np.arange(10))
+
+    def test_key_owner_range_and_determinism(self):
+        keys = np.arange(1000, dtype=np.int64) * 7919
+        owners = key_owner(keys, 7)
+        assert owners.min() >= 0 and owners.max() < 7
+        np.testing.assert_array_equal(owners, key_owner(keys, 7))
+
+    def test_key_owner_balanced(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**60, 20_000)
+        counts = np.bincount(key_owner(keys, 8), minlength=8)
+        assert counts.min() > 0.8 * counts.mean()
+
+
+class TestDistributedSwap:
+    @pytest.mark.parametrize("ranks", [1, 2, 4, 8])
+    def test_invariants(self, ranks):
+        g = random_simple_graph(100, 300, ranks)
+        out, report = distributed_swap_edges(g, 3, ranks, ParallelConfig(seed=1))
+        assert out.is_simple()
+        assert out.m == g.m
+        np.testing.assert_array_equal(
+            np.sort(out.degree_sequence()), np.sort(g.degree_sequence())
+        )
+        assert report.iterations == 3
+        assert report.ranks == ranks
+
+    def test_zero_iterations(self):
+        g = random_simple_graph(30, 60, 0)
+        out, report = distributed_swap_edges(g, 0, 4, ParallelConfig(seed=1))
+        assert out.same_graph(g)
+        assert report.comm.messages == 0
+
+    def test_invalid_args(self):
+        g = random_simple_graph(10, 20, 0)
+        with pytest.raises(ValueError):
+            distributed_swap_edges(g, -1, 2)
+        with pytest.raises(ValueError):
+            distributed_swap_edges(g, 1, 0)
+
+    def test_actually_swaps(self):
+        g = random_simple_graph(100, 300, 5)
+        out, report = distributed_swap_edges(g, 2, 4, ParallelConfig(seed=2))
+        assert not out.same_graph(g)
+        assert report.accepted > 0
+
+    def test_reproducible(self):
+        g = random_simple_graph(60, 150, 6)
+        a, _ = distributed_swap_edges(g, 2, 4, ParallelConfig(seed=3))
+        b, _ = distributed_swap_edges(g, 2, 4, ParallelConfig(seed=3))
+        assert a.same_graph(b)
+
+    def test_multigraph_defects_only_destroyed(self):
+        u = np.asarray([0, 0, 1, 2, 3, 4])
+        v = np.asarray([1, 1, 2, 3, 4, 0])
+        g = EdgeList(u, v)
+        out, _ = distributed_swap_edges(g, 10, 3, ParallelConfig(seed=4))
+        assert out.count_multi_edges() <= g.count_multi_edges()
+        assert out.count_self_loops() == 0
+
+    def test_communication_theta_m_per_iteration(self):
+        """Register m + shuffle m + requests ~m + replies ~m ≈ 4 items
+        per edge per iteration — the Section VIII-C overhead."""
+        g = random_simple_graph(120, 400, 7)
+        _, report = distributed_swap_edges(g, 4, 4, ParallelConfig(seed=5))
+        assert 3.0 <= report.items_per_edge_per_iteration <= 5.0
+
+    def test_acceptance_matches_shared_memory(self):
+        """Same proposal distribution => comparable acceptance rates."""
+        from repro.core.swap import SwapStats, swap_edges
+
+        g = random_simple_graph(150, 500, 8)
+        _, dist_report = distributed_swap_edges(g, 4, 4, ParallelConfig(seed=6))
+        stats = SwapStats()
+        swap_edges(g, 4, ParallelConfig(seed=6), stats=stats)
+        assert dist_report.acceptance_rate == pytest.approx(
+            stats.acceptance_rate, abs=0.12
+        )
+
+    def test_simulated_time_grows_with_ranks_at_fixed_size(self):
+        """Latency term: more ranks, more messages, more modeled time —
+        the regime where shared memory wins (single-node scale)."""
+        g = random_simple_graph(100, 300, 9)
+        times = []
+        for ranks in (2, 16):
+            _, report = distributed_swap_edges(g, 2, ranks, ParallelConfig(seed=7))
+            times.append(report.simulated_seconds)
+        assert times[1] > times[0]
+
+    @given(st.integers(0, 2**31), st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_invariants(self, seed, ranks):
+        g = random_simple_graph(40, 100, seed)
+        out, _ = distributed_swap_edges(g, 2, ranks, ParallelConfig(seed=seed))
+        assert out.is_simple()
+        np.testing.assert_array_equal(
+            np.sort(out.degree_sequence()), np.sort(g.degree_sequence())
+        )

@@ -1,0 +1,91 @@
+"""Tests for the Bernoulli Chung-Lu model (O(n²) edgeskip baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.generators.bernoulli import (
+    bernoulli_chung_lu,
+    bernoulli_naive,
+    chung_lu_probabilities,
+)
+from repro.graph.degree import DegreeDistribution
+from repro.parallel.runtime import ParallelConfig
+
+
+class TestChungLuProbabilities:
+    def test_formula(self, small_dist):
+        P = chung_lu_probabilities(small_dist, clip=False)
+        two_m = small_dist.stub_count()
+        d = small_dist.degrees
+        np.testing.assert_allclose(P, np.outer(d, d) / two_m)
+
+    def test_clip(self, skewed_dist):
+        raw = chung_lu_probabilities(skewed_dist, clip=False)
+        clipped = chung_lu_probabilities(skewed_dist, clip=True)
+        assert raw.max() > 1.0  # skewed: the closed form overflows
+        assert clipped.max() <= 1.0
+
+    def test_symmetric(self, skewed_dist):
+        P = chung_lu_probabilities(skewed_dist)
+        np.testing.assert_allclose(P, P.T)
+
+    def test_empty(self):
+        P = chung_lu_probabilities(DegreeDistribution([], []))
+        assert P.shape == (0, 0)
+
+
+class TestBernoulliChungLu:
+    def test_always_simple(self, skewed_dist, cfg):
+        assert bernoulli_chung_lu(skewed_dist, cfg).is_simple()
+
+    def test_underproduces_hub_on_skew(self):
+        """Capped probabilities lose hub mass (Figure 3's dmax error)."""
+        from repro.datasets.synthetic import deterministic_powerlaw
+
+        dist = deterministic_powerlaw(n=600, d_avg=4.0, d_max=200, n_classes=16)
+        hubs = [
+            bernoulli_chung_lu(dist, ParallelConfig(seed=s)).degree_sequence().max()
+            for s in range(10)
+        ]
+        sizes = [
+            bernoulli_chung_lu(dist, ParallelConfig(seed=100 + s)).m for s in range(10)
+        ]
+        assert np.mean(hubs) < 0.9 * dist.d_max
+        assert np.mean(sizes) < dist.m
+
+    def test_matches_naive_distribution(self):
+        """Edge-skipping equals explicit per-pair coin flips."""
+        dist = DegreeDistribution([1, 2, 3], [8, 5, 2])
+        skip_sizes = [
+            bernoulli_chung_lu(dist, ParallelConfig(seed=s)).m for s in range(300)
+        ]
+        naive_sizes = [bernoulli_naive(dist, seed).m for seed in range(300)]
+        # two-sample t-test-ish: means within joint std error
+        se = np.sqrt(np.var(skip_sizes) / 300 + np.var(naive_sizes) / 300)
+        assert abs(np.mean(skip_sizes) - np.mean(naive_sizes)) < 5 * se + 1e-9
+
+    def test_unskewed_degrees_match(self):
+        """On a mild distribution CL probabilities are honest and the
+        Bernoulli model matches degrees in expectation."""
+        from repro.graph.stats import vertex_classes
+
+        dist = DegreeDistribution([2, 3, 4], [20, 10, 10])
+        cls = vertex_classes(dist)
+        acc = np.zeros(dist.n_classes)
+        runs = 40
+        for s in range(runs):
+            deg = bernoulli_chung_lu(dist, ParallelConfig(seed=s)).degree_sequence()
+            acc += np.bincount(cls, weights=deg, minlength=dist.n_classes)
+        mean_deg = acc / (runs * dist.counts)
+        rel = np.abs(mean_deg - dist.degrees) / dist.degrees
+        assert rel.mean() < 0.08
+
+
+class TestBernoulliNaive:
+    def test_simple(self, small_dist):
+        assert bernoulli_naive(small_dist, 0).is_simple()
+
+    def test_reproducible(self, small_dist):
+        a = bernoulli_naive(small_dist, 7)
+        b = bernoulli_naive(small_dist, 7)
+        assert a.same_graph(b)

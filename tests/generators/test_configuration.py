@@ -1,0 +1,56 @@
+"""Tests for the configuration model and its repairs."""
+
+import numpy as np
+import pytest
+
+from repro.generators.configuration import (
+    configuration_model,
+    erased_configuration_model,
+    repeated_configuration_model,
+)
+from repro.graph.degree import DegreeDistribution
+
+
+class TestConfigurationModel:
+    def test_degrees_exact(self, skewed_dist):
+        g = configuration_model(skewed_dist, 0)
+        # stub matching realizes every degree exactly (loops count 2)
+        np.testing.assert_array_equal(
+            np.sort(g.degree_sequence()), np.sort(skewed_dist.expand())
+        )
+
+    def test_edge_count(self, skewed_dist):
+        assert configuration_model(skewed_dist, 1).m == skewed_dist.m
+
+    def test_reproducible(self, small_dist):
+        a = configuration_model(small_dist, 5)
+        b = configuration_model(small_dist, 5)
+        np.testing.assert_array_equal(a.u, b.u)
+
+    def test_skewed_rarely_simple(self, skewed_dist):
+        """Expected multi-edges > 1 on skew => simple draws are rare."""
+        simple = sum(
+            configuration_model(skewed_dist, s).is_simple() for s in range(20)
+        )
+        assert simple <= 2
+
+
+class TestErased:
+    def test_simple(self, skewed_dist):
+        assert erased_configuration_model(skewed_dist, 0).is_simple()
+
+    def test_loses_edges_on_skew(self, skewed_dist):
+        assert erased_configuration_model(skewed_dist, 0).m < skewed_dist.m
+
+
+class TestRepeated:
+    def test_succeeds_on_mild_distribution(self):
+        dist = DegreeDistribution([2], [10])
+        g, tries = repeated_configuration_model(dist, 0, max_tries=500)
+        assert g.is_simple()
+        assert tries >= 1
+
+    def test_fails_on_skewed(self, skewed_dist):
+        """The paper's point: repeated configuration is impractical."""
+        with pytest.raises(RuntimeError, match="no simple graph"):
+            repeated_configuration_model(skewed_dist, 0, max_tries=15)

@@ -1,0 +1,56 @@
+"""Tests for the Erdős–Rényi edge-skipping generator."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.generators.erdos_renyi import erdos_renyi
+
+
+class TestErdosRenyi:
+    def test_p_zero(self):
+        assert erdos_renyi(10, 0.0, 0).m == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi(8, 1.0, 0)
+        assert g.m == 28
+        assert g.is_simple()
+
+    def test_always_simple(self):
+        for s in range(5):
+            assert erdos_renyi(40, 0.3, s).is_simple()
+
+    def test_n_zero(self):
+        assert erdos_renyi(0, 0.5, 0).m == 0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5, 0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(-1, 0.5, 0)
+
+    def test_edge_count_binomial(self):
+        n, p = 60, 0.1
+        end = n * (n - 1) // 2
+        sizes = [erdos_renyi(n, p, s).m for s in range(200)]
+        se = np.sqrt(end * p * (1 - p) / len(sizes))
+        assert abs(np.mean(sizes) - end * p) < 5 * se
+
+    def test_matches_networkx_distribution(self):
+        """Cross-check against networkx's G(n, p) sampler."""
+        import networkx as nx
+
+        n, p = 50, 0.15
+        ours = np.mean([erdos_renyi(n, p, s).m for s in range(150)])
+        theirs = np.mean(
+            [nx.gnp_random_graph(n, p, seed=s).number_of_edges() for s in range(150)]
+        )
+        assert abs(ours - theirs) < 8
+
+    def test_degree_distribution_poisson_like(self):
+        g = erdos_renyi(500, 0.02, 3)
+        deg = g.degree_sequence()
+        # mean degree ~ (n-1) p ~ 10
+        assert abs(deg.mean() - 499 * 0.02) < 1.0

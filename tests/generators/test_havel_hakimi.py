@@ -1,0 +1,83 @@
+"""Tests for the Havel–Hakimi realization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.synthetic import sampled_powerlaw
+from repro.generators.havel_hakimi import havel_hakimi_graph
+from repro.graph.degree import DegreeDistribution
+
+
+class TestHavelHakimi:
+    def test_realizes_exactly(self, small_dist):
+        g = havel_hakimi_graph(small_dist)
+        assert g.is_simple()
+        np.testing.assert_array_equal(
+            np.sort(g.degree_sequence()), np.sort(small_dist.expand())
+        )
+
+    def test_skewed(self, skewed_dist):
+        g = havel_hakimi_graph(skewed_dist)
+        assert g.is_simple()
+        np.testing.assert_array_equal(
+            np.sort(g.degree_sequence()), np.sort(skewed_dist.expand())
+        )
+
+    def test_degree_ordered_labelling(self, small_dist):
+        """Vertex ids follow the library-wide class labelling."""
+        g = havel_hakimi_graph(small_dist)
+        deg = g.degree_sequence()
+        np.testing.assert_array_equal(deg, small_dist.expand())
+
+    def test_regular(self):
+        dist = DegreeDistribution([3], [8])
+        g = havel_hakimi_graph(dist)
+        np.testing.assert_array_equal(g.degree_sequence(), np.full(8, 3))
+
+    def test_complete_graph(self):
+        dist = DegreeDistribution([5], [6])
+        g = havel_hakimi_graph(dist)
+        assert g.m == 15
+
+    def test_star(self):
+        dist = DegreeDistribution([1, 5], [5, 1])
+        g = havel_hakimi_graph(dist)
+        assert g.m == 5
+
+    def test_empty(self):
+        g = havel_hakimi_graph(DegreeDistribution([], []))
+        assert g.m == 0
+
+    def test_non_graphical_raises(self):
+        dist = DegreeDistribution([1, 3], [1, 3])  # [3,3,3,1]
+        with pytest.raises(ValueError, match="not graphical"):
+            havel_hakimi_graph(dist)
+
+    def test_deterministic(self, skewed_dist):
+        a = havel_hakimi_graph(skewed_dist)
+        b = havel_hakimi_graph(skewed_dist)
+        np.testing.assert_array_equal(a.u, b.u)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_property_random_powerlaws(self, seed):
+        dist = sampled_powerlaw(120, 2.0, 1, 40, seed=seed)
+        if not dist.is_graphical():
+            return
+        g = havel_hakimi_graph(dist)
+        assert g.is_simple()
+        np.testing.assert_array_equal(
+            np.sort(g.degree_sequence()), np.sort(dist.expand())
+        )
+
+    def test_matches_networkx_degree_sequence(self):
+        """Same realizability as networkx's HH implementation."""
+        import networkx as nx
+
+        dist = sampled_powerlaw(60, 2.2, 1, 15, seed=5)
+        ours = havel_hakimi_graph(dist)
+        theirs = nx.havel_hakimi_graph(sorted(dist.expand().tolist(), reverse=True))
+        assert sorted(d for _, d in theirs.degree()) == sorted(
+            ours.degree_sequence().tolist()
+        )

@@ -1,0 +1,83 @@
+"""Tests for weighted samplers (binary-search and alias)."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.generators.sampling import AliasSampler, BinarySearchSampler, make_sampler
+
+
+@pytest.mark.parametrize("cls", [BinarySearchSampler, AliasSampler])
+class TestSamplers:
+    def test_validates_empty(self, cls):
+        with pytest.raises(ValueError):
+            cls([])
+
+    def test_validates_negative(self, cls):
+        with pytest.raises(ValueError):
+            cls([1.0, -0.5])
+
+    def test_validates_all_zero(self, cls):
+        with pytest.raises(ValueError):
+            cls([0.0, 0.0])
+
+    def test_single_weight(self, cls):
+        s = cls([3.0])
+        assert (s.sample(20, 0) == 0).all()
+
+    def test_zero_weight_never_drawn(self, cls):
+        s = cls([1.0, 0.0, 1.0])
+        draws = s.sample(2000, 1)
+        assert not (draws == 1).any()
+
+    def test_indices_in_range(self, cls):
+        s = cls(np.arange(1, 11, dtype=float))
+        draws = s.sample(1000, 2)
+        assert draws.min() >= 0 and draws.max() < 10
+
+    def test_reproducible(self, cls):
+        s = cls([1, 2, 3])
+        np.testing.assert_array_equal(s.sample(50, 9), s.sample(50, 9))
+
+    def test_distribution_matches_weights(self, cls):
+        weights = np.asarray([1.0, 2.0, 3.0, 4.0])
+        s = cls(weights)
+        draws = s.sample(40_000, 3)
+        counts = np.bincount(draws, minlength=4)
+        expected = weights / weights.sum() * len(draws)
+        chi2 = ((counts - expected) ** 2 / expected).sum()
+        assert sps.chi2.sf(chi2, 3) > 1e-4
+
+    def test_skewed_weights(self, cls):
+        weights = np.ones(100)
+        weights[0] = 1000.0
+        s = cls(weights)
+        draws = s.sample(10_000, 4)
+        frac = (draws == 0).mean()
+        expect = 1000 / weights.sum()
+        assert abs(frac - expect) < 0.02
+
+
+class TestMakeSampler:
+    def test_binary(self):
+        assert isinstance(make_sampler([1.0], "binary"), BinarySearchSampler)
+
+    def test_alias(self):
+        assert isinstance(make_sampler([1.0], "alias"), AliasSampler)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_sampler([1.0], "magic")
+
+
+class TestSamplersAgree:
+    def test_same_distribution(self):
+        """Both samplers realize the same weighted distribution."""
+        weights = np.asarray([5.0, 1.0, 3.0, 0.5, 8.0])
+        a = np.bincount(BinarySearchSampler(weights).sample(30_000, 0), minlength=5)
+        b = np.bincount(AliasSampler(weights).sample(30_000, 0), minlength=5)
+        # two-sample chi-square
+        total = a + b
+        expected_a = total * a.sum() / (a.sum() + b.sum())
+        chi2 = (((a - expected_a) ** 2) / np.maximum(expected_a, 1)).sum()
+        assert sps.chi2.sf(chi2, 4) > 1e-4

@@ -1,0 +1,88 @@
+"""Tests for Shiloach–Vishkin connected components."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.components import component_sizes, connected_components, is_connected
+from repro.graph.edgelist import EdgeList
+
+
+class TestConnectedComponents:
+    def test_ring_single_component(self, ring_graph):
+        comp = connected_components(ring_graph)
+        assert (comp == 0).all()
+        assert is_connected(ring_graph)
+
+    def test_two_components(self):
+        g = EdgeList([0, 1, 3, 4], [1, 2, 4, 5], n=6)
+        comp = connected_components(g)
+        assert comp[0] == comp[1] == comp[2]
+        assert comp[3] == comp[4] == comp[5]
+        assert comp[0] != comp[3]
+
+    def test_isolated_vertices(self):
+        g = EdgeList([0], [1], n=4)
+        sizes = component_sizes(g)
+        assert sorted(sizes.tolist()) == [1, 1, 2]
+        assert not is_connected(g)
+
+    def test_empty_graph(self):
+        g = EdgeList([], [], n=3)
+        assert len(component_sizes(g)) == 3
+
+    def test_zero_vertices(self):
+        g = EdgeList([], [], n=0)
+        assert is_connected(g)
+        assert component_sizes(g).shape == (0,)
+
+    def test_labels_dense_and_ordered(self):
+        g = EdgeList([4, 0], [5, 1], n=6)
+        comp = connected_components(g)
+        # first-seen ordering: vertex 0's component is id 0
+        assert comp[0] == 0
+        assert set(comp.tolist()) == {0, 1, 2, 3}
+
+    def test_star(self):
+        g = EdgeList([0, 0, 0], [1, 2, 3])
+        assert is_connected(g)
+
+    def test_path_long(self):
+        n = 1000
+        u = np.arange(n - 1)
+        g = EdgeList(u, u + 1, n)
+        assert is_connected(g)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        rng = np.random.default_rng(0)
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            m = int(rng.integers(5, 60))
+            u = rng.integers(0, 50, m)
+            v = rng.integers(0, 50, m)
+            g = EdgeList(u, v, 50)
+            ours = len(component_sizes(g))
+            theirs = nx.number_connected_components(to_networkx(g))
+            assert ours == theirs
+
+    @given(st.integers(0, 2**31), st.integers(1, 80), st.integers(0, 150))
+    @settings(max_examples=40, deadline=None)
+    def test_property_component_invariants(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        u = rng.integers(0, n, m)
+        v = rng.integers(0, n, m)
+        g = EdgeList(u, v, n)
+        comp = connected_components(g)
+        assert len(comp) == n
+        # every edge joins same-component endpoints
+        if m:
+            assert (comp[g.u] == comp[g.v]).all()
+        assert component_sizes(g).sum() == n
+
+    def test_self_loops_ok(self):
+        g = EdgeList([0, 1], [0, 2], n=3)
+        assert len(component_sizes(g)) == 2

@@ -1,0 +1,54 @@
+"""Tests for NetworkX conversion."""
+
+import numpy as np
+import pytest
+
+from repro.graph.convert import from_networkx, to_networkx
+from repro.graph.edgelist import EdgeList
+
+
+class TestToNetworkx:
+    def test_roundtrip_simple(self, ring_graph):
+        g = to_networkx(ring_graph)
+        assert g.number_of_nodes() == 10
+        assert g.number_of_edges() == 10
+        back = from_networkx(g)
+        assert back.same_graph(ring_graph)
+
+    def test_isolated_vertices_preserved(self):
+        g = to_networkx(EdgeList([0], [1], n=5))
+        assert g.number_of_nodes() == 5
+
+    def test_multigraph_keeps_duplicates(self):
+        el = EdgeList([0, 0, 1], [1, 1, 1])
+        assert to_networkx(el, multigraph=True).number_of_edges() == 3
+        assert to_networkx(el, multigraph=False).number_of_edges() == 2
+
+
+class TestFromNetworkx:
+    def test_empty(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        el = from_networkx(g)
+        assert el.n == 3 and el.m == 0
+
+    def test_relabels_non_contiguous(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(10, 20)
+        g.add_edge(20, 30)
+        el = from_networkx(g)
+        assert el.n == 3 and el.m == 2
+        deg = el.degree_sequence()
+        assert sorted(deg.tolist()) == [1, 1, 2]
+
+    def test_degree_sequences_agree(self):
+        import networkx as nx
+
+        g = nx.karate_club_graph()
+        el = from_networkx(g)
+        theirs = sorted(d for _, d in g.degree())
+        assert sorted(el.degree_sequence().tolist()) == theirs

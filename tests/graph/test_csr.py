@@ -1,0 +1,133 @@
+"""Tests for CSR adjacency and motif counting kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import (
+    CSRAdjacency,
+    clustering_coefficients,
+    transitivity,
+    triangle_count,
+    triangles_per_vertex,
+    wedge_count,
+)
+from repro.graph.edgelist import EdgeList
+
+
+def random_simple(n, m, seed):
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, n, 3 * m)
+    v = rng.integers(0, n, 3 * m)
+    keep = u != v
+    return EdgeList(u[keep], v[keep], n).simplify()
+
+
+class TestCSRAdjacency:
+    def test_neighbors_sorted_and_complete(self, ring_graph):
+        adj = CSRAdjacency(ring_graph)
+        for v in range(ring_graph.n):
+            nbrs = adj.neighbors(v)
+            assert len(nbrs) == 2
+            assert (np.diff(nbrs) > 0).all()
+            assert set(nbrs.tolist()) == {(v - 1) % 10, (v + 1) % 10}
+
+    def test_degrees(self, ring_graph):
+        np.testing.assert_array_equal(
+            CSRAdjacency(ring_graph).degrees(), ring_graph.degree_sequence()
+        )
+
+    def test_rejects_non_simple(self):
+        with pytest.raises(ValueError):
+            CSRAdjacency(EdgeList([0, 0], [1, 1]))
+
+    def test_has_edge(self):
+        g = EdgeList([0, 1], [1, 2], n=4)
+        adj = CSRAdjacency(g)
+        assert adj.has_edge(0, 1) and adj.has_edge(1, 0)
+        assert not adj.has_edge(0, 2)
+        assert not adj.has_edge(3, 0)
+
+    def test_isolated_vertex(self):
+        adj = CSRAdjacency(EdgeList([0], [1], n=3))
+        assert adj.degree(2) == 0
+        assert adj.neighbors(2).shape == (0,)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_round_trip(self, seed):
+        g = random_simple(30, 80, seed)
+        adj = CSRAdjacency(g)
+        np.testing.assert_array_equal(adj.degrees(), g.degree_sequence())
+        # every edge appears in both adjacency lists
+        for a, b in zip(g.u.tolist()[:20], g.v.tolist()[:20]):
+            assert adj.has_edge(a, b) and adj.has_edge(b, a)
+
+
+class TestTriangles:
+    def test_triangle_graph(self):
+        g = EdgeList([0, 1, 2], [1, 2, 0])
+        assert triangle_count(g) == 1
+        np.testing.assert_array_equal(triangles_per_vertex(g), [1, 1, 1])
+
+    def test_triangle_free(self, ring_graph):
+        assert triangle_count(ring_graph) == 0
+
+    def test_complete_graph(self):
+        iu, iv = np.triu_indices(6, k=1)
+        g = EdgeList(iu, iv)
+        assert triangle_count(g) == 20  # C(6,3)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        for seed in range(5):
+            g = random_simple(40, 150, seed)
+            theirs = sum(nx.triangles(to_networkx(g)).values()) // 3
+            assert triangle_count(g) == theirs
+
+    def test_per_vertex_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        g = random_simple(40, 150, 11)
+        theirs = nx.triangles(to_networkx(g))
+        ours = triangles_per_vertex(g)
+        assert all(ours[i] == theirs[i] for i in range(g.n))
+
+    def test_empty(self):
+        assert triangle_count(EdgeList([], [], n=4)) == 0
+
+
+class TestClustering:
+    def test_wedges(self):
+        g = EdgeList([0, 0], [1, 2], n=3)  # one wedge at vertex 0
+        assert wedge_count(g) == 1
+
+    def test_transitivity_triangle(self):
+        g = EdgeList([0, 1, 2], [1, 2, 0])
+        assert transitivity(g) == pytest.approx(1.0)
+
+    def test_transitivity_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        g = random_simple(50, 200, 3)
+        assert transitivity(g) == pytest.approx(nx.transitivity(to_networkx(g)))
+
+    def test_clustering_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        g = random_simple(50, 200, 4)
+        theirs = nx.clustering(to_networkx(g))
+        ours = clustering_coefficients(g)
+        np.testing.assert_allclose(ours, [theirs[i] for i in range(g.n)], atol=1e-12)
+
+    def test_empty_transitivity(self):
+        assert transitivity(EdgeList([], [], n=3)) == 0.0

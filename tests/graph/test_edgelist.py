@@ -1,0 +1,139 @@
+"""Tests for the EdgeList container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.edgelist import EdgeList
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = EdgeList([0, 1], [1, 2])
+        assert g.n == 3 and g.m == 2
+
+    def test_explicit_n(self):
+        g = EdgeList([0], [1], n=10)
+        assert g.n == 10
+
+    def test_n_too_small(self):
+        with pytest.raises(ValueError):
+            EdgeList([0, 5], [1, 6], n=3)
+
+    def test_negative_vertex(self):
+        with pytest.raises(ValueError):
+            EdgeList([-1], [0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            EdgeList([0, 1], [1])
+
+    def test_empty(self):
+        g = EdgeList([], [], n=5)
+        assert g.n == 5 and g.m == 0 and len(g) == 0
+
+    def test_from_pairs(self):
+        g = EdgeList.from_pairs([(0, 1), (1, 2)])
+        assert g.m == 2
+
+    def test_from_pairs_empty(self):
+        g = EdgeList.from_pairs([], n=4)
+        assert g.m == 0 and g.n == 4
+
+    def test_from_pairs_bad_shape(self):
+        with pytest.raises(ValueError):
+            EdgeList.from_pairs([(0, 1, 2)])
+
+    def test_keys_roundtrip(self):
+        g = EdgeList([3, 0], [1, 2])
+        g2 = EdgeList.from_keys(g.keys(), g.n)
+        assert g2.same_graph(g)
+
+    def test_repr(self):
+        assert "EdgeList(n=3, m=1)" in repr(EdgeList([0], [2]))
+
+    def test_copy_independent(self):
+        g = EdgeList([0], [1])
+        c = g.copy()
+        c.u[0] = 1
+        assert g.u[0] == 0
+
+    def test_pairs_shape(self):
+        assert EdgeList([0, 1], [1, 2]).pairs().shape == (2, 2)
+
+
+class TestSimplicity:
+    def test_simple_graph(self, ring_graph):
+        assert ring_graph.is_simple()
+        assert ring_graph.count_self_loops() == 0
+        assert ring_graph.count_multi_edges() == 0
+
+    def test_self_loops_counted(self):
+        g = EdgeList([0, 1, 2], [0, 1, 3])
+        assert g.count_self_loops() == 2
+        assert not g.is_simple()
+
+    def test_multi_edges_counted_once_per_extra(self):
+        g = EdgeList([0, 0, 0, 1], [1, 1, 1, 2])
+        assert g.count_multi_edges() == 2
+
+    def test_multi_edge_detects_reversed_orientation(self):
+        g = EdgeList([0, 1], [1, 0])
+        assert g.count_multi_edges() == 1
+
+    def test_simplify_removes_all(self):
+        # three copies of {0,1}, a {1,1} loop, a {2,2} loop -> just {0,1}
+        g = EdgeList([0, 0, 1, 2, 0], [1, 1, 1, 2, 1])
+        s = g.simplify()
+        assert s.is_simple()
+        assert s.m == 1
+        assert s.n == g.n
+
+    def test_simplify_preserves_simple(self, ring_graph):
+        assert ring_graph.simplify().same_graph(ring_graph)
+
+    def test_empty_simplify(self):
+        g = EdgeList([], [], n=2).simplify()
+        assert g.m == 0 and g.n == 2
+
+
+class TestDegrees:
+    def test_ring_degrees(self, ring_graph):
+        np.testing.assert_array_equal(ring_graph.degree_sequence(), np.full(10, 2))
+
+    def test_self_loop_counts_two(self):
+        g = EdgeList([0], [0], n=2)
+        np.testing.assert_array_equal(g.degree_sequence(), [2, 0])
+
+    def test_isolated_vertices(self):
+        g = EdgeList([0], [1], n=4)
+        np.testing.assert_array_equal(g.degree_sequence(), [1, 1, 0, 0])
+
+    def test_degree_sum_is_2m(self):
+        rng = np.random.default_rng(0)
+        g = EdgeList(rng.integers(0, 20, 50), rng.integers(0, 20, 50))
+        assert g.degree_sequence().sum() == 2 * g.m
+
+
+class TestSameGraph:
+    def test_orientation_invariant(self):
+        a = EdgeList([0, 1], [1, 2], n=3)
+        b = EdgeList([2, 1], [1, 0], n=3)
+        assert a.same_graph(b)
+
+    def test_different_n(self):
+        assert not EdgeList([0], [1], n=2).same_graph(EdgeList([0], [1], n=3))
+
+    def test_different_edges(self):
+        assert not EdgeList([0], [1], n=3).same_graph(EdgeList([0], [2], n=3))
+
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=30))
+    def test_property_shuffle_invariant(self, pairs):
+        if not pairs:
+            return
+        u = np.asarray([p[0] for p in pairs])
+        v = np.asarray([p[1] for p in pairs])
+        a = EdgeList(u, v, n=9)
+        perm = np.random.default_rng(0).permutation(len(u))
+        b = EdgeList(v[perm], u[perm], n=9)
+        assert a.same_graph(b)

@@ -1,0 +1,96 @@
+"""Tests for edge-list and degree-distribution file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graph.degree import DegreeDistribution
+from repro.graph.edgelist import EdgeList
+from repro.graph.io import (
+    load_degree_distribution,
+    load_edge_list,
+    save_degree_distribution,
+    save_edge_list,
+)
+
+
+class TestEdgeListIO:
+    def test_text_roundtrip(self, tmp_path, ring_graph):
+        path = tmp_path / "g.txt"
+        save_edge_list(ring_graph, path)
+        back = load_edge_list(path)
+        assert back.same_graph(ring_graph)
+        assert back.n == ring_graph.n
+
+    def test_npz_roundtrip(self, tmp_path, ring_graph):
+        path = tmp_path / "g.npz"
+        save_edge_list(ring_graph, path)
+        back = load_edge_list(path)
+        np.testing.assert_array_equal(back.u, ring_graph.u)
+        np.testing.assert_array_equal(back.v, ring_graph.v)
+        assert back.n == ring_graph.n
+
+    def test_text_preserves_isolated_vertices(self, tmp_path):
+        g = EdgeList([0], [1], n=7)
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        assert load_edge_list(path).n == 7
+
+    def test_empty_graph_text(self, tmp_path):
+        g = EdgeList([], [], n=3)
+        path = tmp_path / "empty.txt"
+        save_edge_list(g, path)
+        back = load_edge_list(path)
+        assert back.m == 0 and back.n == 3
+
+    def test_npz_multigraph_exact(self, tmp_path):
+        g = EdgeList([0, 0], [1, 1], n=2)
+        path = tmp_path / "multi.npz"
+        save_edge_list(g, path)
+        assert load_edge_list(path).m == 2
+
+
+class TestDegreeDistributionIO:
+    def test_roundtrip(self, tmp_path, small_dist):
+        path = tmp_path / "d.txt"
+        save_degree_distribution(small_dist, path)
+        assert load_degree_distribution(path) == small_dist
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "d.txt"
+        save_degree_distribution(DegreeDistribution([], []), path)
+        assert load_degree_distribution(path).n == 0
+
+
+class TestMetisIO:
+    def test_roundtrip(self, tmp_path, ring_graph):
+        from repro.graph.io import load_metis, save_metis
+
+        path = tmp_path / "g.metis"
+        save_metis(ring_graph, path)
+        back = load_metis(path)
+        assert back.same_graph(ring_graph)
+        assert back.n == ring_graph.n and back.m == ring_graph.m
+
+    def test_header(self, tmp_path, ring_graph):
+        from repro.graph.io import save_metis
+
+        path = tmp_path / "g.metis"
+        save_metis(ring_graph, path)
+        assert path.read_text().splitlines()[0] == "10 10"
+
+    def test_rejects_non_simple(self, tmp_path):
+        from repro.graph.io import save_metis
+        from repro.graph.edgelist import EdgeList
+
+        with pytest.raises(ValueError):
+            save_metis(EdgeList([0, 0], [1, 1]), tmp_path / "bad.metis")
+
+    def test_isolated_vertices(self, tmp_path):
+        from repro.graph.io import load_metis, save_metis
+        from repro.graph.edgelist import EdgeList
+
+        g = EdgeList([0], [1], n=4)
+        path = tmp_path / "iso.metis"
+        save_metis(g, path)
+        back = load_metis(path)
+        assert back.n == 4 and back.m == 1

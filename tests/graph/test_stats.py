@@ -1,0 +1,167 @@
+"""Tests for graph statistics (Gini, errors, attachment matrices)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.degree import DegreeDistribution
+from repro.graph.edgelist import EdgeList
+from repro.graph.stats import (
+    attachment_probability_matrix,
+    degree_assortativity,
+    degree_class_edge_counts,
+    degree_error_by_degree,
+    gini_coefficient,
+    percent_error,
+    possible_pairs_matrix,
+    vertex_classes,
+)
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_total_inequality_limit(self):
+        # one holder of all mass among many: G -> 1 - 1/n
+        n = 1000
+        values = np.zeros(n)
+        values[0] = 100
+        assert gini_coefficient(values) == pytest.approx(1 - 1 / n)
+
+    def test_known_value(self):
+        # [1, 3]: mean abs diff = 1; G = 1/(2*2) ... classic result 0.25
+        assert gini_coefficient([1, 3]) == pytest.approx(0.25)
+
+    def test_empty(self):
+        assert gini_coefficient([]) == 0.0
+
+    def test_all_zero(self):
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1, 2])
+
+    def test_scale_invariant(self):
+        a = [1, 2, 3, 10]
+        assert gini_coefficient(a) == pytest.approx(gini_coefficient(np.asarray(a) * 7.5))
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=50))
+    def test_property_bounds(self, values):
+        g = gini_coefficient(values)
+        assert -1e-9 <= g < 1.0
+
+    def test_skew_orders_distributions(self):
+        flat = gini_coefficient([4] * 100)
+        skewed = gini_coefficient([1] * 99 + [500])
+        assert skewed > flat
+
+
+class TestPercentError:
+    def test_basic(self):
+        assert percent_error(110, 100) == pytest.approx(10.0)
+
+    def test_signed(self):
+        assert percent_error(90, 100) == pytest.approx(-10.0)
+
+    def test_zero_expected_zero_actual(self):
+        assert percent_error(0, 0) == 0.0
+
+    def test_zero_expected_nonzero(self):
+        assert percent_error(1, 0) == float("inf")
+
+
+class TestDegreeErrorByDegree:
+    def test_perfect_match(self, small_dist):
+        degrees, err = degree_error_by_degree(small_dist, small_dist.expand())
+        np.testing.assert_array_equal(degrees, small_dist.degrees)
+        np.testing.assert_allclose(err, 0.0)
+
+    def test_missing_class(self, small_dist):
+        seq = small_dist.expand()
+        seq = seq[seq != 6]  # drop the hub
+        _, err = degree_error_by_degree(small_dist, seq)
+        assert err[-1] == pytest.approx(-100.0)
+
+    def test_unknown_degrees_ignored(self, small_dist):
+        seq = np.concatenate([small_dist.expand(), [40, 40]])
+        _, err = degree_error_by_degree(small_dist, seq)
+        np.testing.assert_allclose(err, 0.0)
+
+
+class TestAssortativity:
+    def test_bounded(self, ring_graph):
+        assert -1.0 <= degree_assortativity(ring_graph) <= 1.0
+
+    def test_regular_graph_degenerate(self, ring_graph):
+        # all degrees equal -> zero variance -> defined as 0
+        assert degree_assortativity(ring_graph) == 0.0
+
+    def test_star_disassortative(self):
+        g = EdgeList([0, 0, 0, 0], [1, 2, 3, 4])
+        assert degree_assortativity(g) == pytest.approx(-1.0)
+
+    def test_empty(self):
+        assert degree_assortativity(EdgeList([], [], n=3)) == 0.0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        rng = np.random.default_rng(1)
+        u = rng.integers(0, 30, 80)
+        v = rng.integers(0, 30, 80)
+        keep = u != v
+        g = EdgeList(u[keep], v[keep], 30).simplify()
+        ours = degree_assortativity(g)
+        theirs = nx.degree_assortativity_coefficient(to_networkx(g))
+        assert ours == pytest.approx(theirs, abs=1e-8)
+
+
+class TestVertexClasses:
+    def test_layout(self, small_dist):
+        cls = vertex_classes(small_dist)
+        assert len(cls) == small_dist.n
+        np.testing.assert_array_equal(np.bincount(cls), small_dist.counts)
+        assert (np.diff(cls) >= 0).all()
+
+
+class TestAttachmentMatrices:
+    def test_possible_pairs(self, small_dist):
+        pairs = possible_pairs_matrix(small_dist)
+        assert pairs[0, 0] == 6 * 5 / 2
+        assert pairs[0, 1] == 6 * 4
+        assert pairs[3, 3] == 0  # single hub: no intra-class pair
+
+    def test_edge_counts_symmetric(self, small_dist):
+        g = EdgeList([0, 6, 12], [6, 10, 0], n=13)
+        counts = degree_class_edge_counts(g, small_dist)
+        assert np.allclose(counts, counts.T)
+        assert counts.sum() == 2 * g.m - np.trace(counts)
+
+    def test_diagonal_counts_once(self, small_dist):
+        g = EdgeList([0, 1], [1, 2], n=13)  # both edges inside class 0
+        counts = degree_class_edge_counts(g, small_dist)
+        assert counts[0, 0] == 2
+
+    def test_probability_bounds_simple_graph(self, small_dist):
+        g = EdgeList([0, 1, 6], [6, 10, 12], n=13)
+        p = attachment_probability_matrix(g, small_dist)
+        assert (p >= 0).all() and (p <= 1).all()
+
+    def test_complete_bipartite_probability_one(self):
+        dist = DegreeDistribution([2, 3], [3, 2])
+        # K_{2,3}: class-1 vertices (ids 3,4) connect to every class-0 vertex
+        u = np.asarray([3, 3, 3, 4, 4, 4])
+        v = np.asarray([0, 1, 2, 0, 1, 2])
+        p = attachment_probability_matrix(EdgeList(u, v, 5), dist)
+        assert p[0, 1] == pytest.approx(1.0)
+        assert p[1, 0] == pytest.approx(1.0)
+        assert p[0, 0] == 0.0
+
+    def test_graph_larger_than_dist_rejected(self, small_dist):
+        g = EdgeList([0], [20], n=21)
+        with pytest.raises(ValueError):
+            degree_class_edge_counts(g, small_dist)

@@ -1,0 +1,110 @@
+"""Tests for the generalized λ-share hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.hierarchy.hierarchical import Level, generate_hierarchical
+from repro.hierarchy.metrics import mixing_fraction
+from repro.parallel.runtime import ParallelConfig
+
+
+def make_levels(n, groups, lam):
+    membership = np.repeat(np.arange(groups), n // groups)
+    level1 = Level(membership, np.full(n, lam), "local")
+    level2 = Level(np.zeros(n, dtype=int), np.full(n, 1.0 - lam), "global")
+    return [level1, level2], membership
+
+
+class TestLevel:
+    def test_valid(self):
+        Level(np.asarray([0, 1]), np.asarray([0.5, 0.5]))
+
+    def test_share_out_of_range(self):
+        with pytest.raises(ValueError):
+            Level(np.asarray([0]), np.asarray([1.5]))
+
+    def test_uncovered_with_share(self):
+        with pytest.raises(ValueError):
+            Level(np.asarray([-1]), np.asarray([0.5]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Level(np.asarray([0, 1]), np.asarray([0.5]))
+
+
+class TestGenerateHierarchical:
+    def test_basic_two_level(self, cfg):
+        n = 200
+        degrees = np.full(n, 6)
+        levels, _ = make_levels(n, 4, 0.5)
+        g, info = generate_hierarchical(degrees, levels, cfg)
+        assert g.is_simple()
+        assert g.n == n
+        # degree conservation up to union-duplicate losses
+        assert g.degree_sequence().sum() >= 0.95 * degrees.sum()
+
+    def test_shares_must_sum_to_one(self, cfg):
+        n = 40
+        degrees = np.full(n, 4)
+        level = Level(np.zeros(n, dtype=int), np.full(n, 0.7))
+        with pytest.raises(ValueError, match="sum to 1"):
+            generate_hierarchical(degrees, [level], cfg)
+
+    def test_membership_length_checked(self, cfg):
+        level = Level(np.zeros(3, dtype=int), np.full(3, 1.0))
+        with pytest.raises(ValueError, match="full vertex range"):
+            generate_hierarchical(np.full(5, 2), [level], cfg)
+
+    def test_layer_degree_split_exact(self, cfg):
+        """Largest-remainder rounding: layer degrees sum to the target."""
+        n = 60
+        rng = np.random.default_rng(0)
+        degrees = rng.integers(1, 9, n)
+        levels, _ = make_levels(n, 3, 0.37)
+        g, info = generate_hierarchical(degrees, levels, cfg)
+        # realized total degree within duplicate-union slack
+        assert g.degree_sequence().sum() >= 0.9 * degrees.sum()
+
+    def test_lambda_controls_mixing(self):
+        """Higher local share => fewer cross-group edges."""
+        n = 240
+        degrees = np.full(n, 8)
+        cfg = ParallelConfig(threads=2, seed=5)
+        fracs = []
+        for lam in (0.8, 0.2):
+            levels, membership = make_levels(n, 4, lam)
+            g, _ = generate_hierarchical(degrees, levels, cfg)
+            fracs.append(mixing_fraction(g, membership))
+        assert fracs[0] < fracs[1]
+
+    def test_three_levels(self, cfg):
+        n = 120
+        degrees = np.full(n, 9)
+        l1 = Level(np.repeat(np.arange(6), 20), np.full(n, 0.4), "fine")
+        l2 = Level(np.repeat(np.arange(2), 60), np.full(n, 0.3), "coarse")
+        l3 = Level(np.zeros(n, dtype=int), np.full(n, 0.3), "global")
+        g, info = generate_hierarchical(degrees, [l1, l2, l3], cfg)
+        assert g.is_simple()
+        assert len(info["layers"]) == 6 + 2 + 1
+
+    def test_uncovered_vertices_allowed(self, cfg):
+        """A level may cover a subset; shares still sum to 1 via others."""
+        n = 80
+        degrees = np.full(n, 4)
+        membership = np.full(n, -1)
+        membership[:40] = 0
+        shares = np.zeros(n)
+        shares[:40] = 0.5
+        partial = Level(membership, shares, "half")
+        rest = Level(np.zeros(n, dtype=int), np.where(shares > 0, 0.5, 1.0), "global")
+        g, _ = generate_hierarchical(degrees, [partial, rest], cfg)
+        assert g.is_simple()
+
+    def test_info_reports_layers(self, cfg):
+        n = 100
+        degrees = np.full(n, 4)
+        levels, _ = make_levels(n, 2, 0.5)
+        _, info = generate_hierarchical(degrees, levels, cfg)
+        assert {l["level"] for l in info["layers"]} == {"local", "global"}
+        assert all(l["edges"] >= 0 for l in info["layers"])
+        assert info["duplicates_dropped"] >= 0

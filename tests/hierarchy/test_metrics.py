@@ -1,0 +1,75 @@
+"""Tests for community metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.edgelist import EdgeList
+from repro.hierarchy.metrics import community_sizes, mixing_fraction, modularity
+
+
+def two_triangles():
+    """Two disjoint triangles: perfect communities."""
+    u = np.asarray([0, 1, 2, 3, 4, 5])
+    v = np.asarray([1, 2, 0, 4, 5, 3])
+    return EdgeList(u, v, 6), np.asarray([0, 0, 0, 1, 1, 1])
+
+
+class TestMixingFraction:
+    def test_no_crossing(self):
+        g, comm = two_triangles()
+        assert mixing_fraction(g, comm) == 0.0
+
+    def test_all_crossing(self):
+        g = EdgeList([0, 1], [2, 3], 4)
+        comm = np.asarray([0, 0, 1, 1])
+        assert mixing_fraction(g, comm) == 1.0
+
+    def test_half(self):
+        g = EdgeList([0, 0], [1, 2], 3)
+        comm = np.asarray([0, 0, 1])
+        assert mixing_fraction(g, comm) == 0.5
+
+    def test_empty_graph(self):
+        assert mixing_fraction(EdgeList([], [], n=2), np.asarray([0, 1])) == 0.0
+
+    def test_wrong_length(self):
+        g = EdgeList([0], [1], 2)
+        with pytest.raises(ValueError):
+            mixing_fraction(g, np.asarray([0]))
+
+
+class TestModularity:
+    def test_perfect_communities(self):
+        g, comm = two_triangles()
+        # Q = sum(3/6 - (6/12)^2) * 2 = 0.5
+        assert modularity(g, comm) == pytest.approx(0.5)
+
+    def test_single_community_zero(self):
+        g, _ = two_triangles()
+        assert modularity(g, np.zeros(6, dtype=int)) == pytest.approx(0.0)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        rng = np.random.default_rng(0)
+        u = rng.integers(0, 20, 60)
+        v = rng.integers(0, 20, 60)
+        keep = u != v
+        g = EdgeList(u[keep], v[keep], 20).simplify()
+        comm = rng.integers(0, 3, 20)
+        groups = [set(np.flatnonzero(comm == c).tolist()) for c in range(3)]
+        theirs = nx.algorithms.community.modularity(to_networkx(g), groups)
+        assert modularity(g, comm) == pytest.approx(theirs, abs=1e-9)
+
+    def test_empty(self):
+        assert modularity(EdgeList([], [], n=2), np.asarray([0, 1])) == 0.0
+
+
+class TestCommunitySizes:
+    def test_counts(self):
+        np.testing.assert_array_equal(community_sizes(np.asarray([0, 1, 1, 2])), [1, 2, 1])
+
+    def test_empty(self):
+        assert community_sizes(np.asarray([], dtype=int)).shape == (0,)

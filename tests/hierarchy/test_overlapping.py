@@ -1,0 +1,86 @@
+"""Tests for overlapping community generation."""
+
+import numpy as np
+import pytest
+
+from repro.hierarchy.overlapping import overlapping_communities
+from repro.parallel.runtime import ParallelConfig
+
+
+def two_overlapping(n=120, overlap=20):
+    """Communities [0, 70) and [50, 120): vertices 50-69 in both."""
+    memberships = []
+    for v in range(n):
+        comms = []
+        if v < 70:
+            comms.append(0)
+        if v >= 50:
+            comms.append(1)
+        memberships.append(comms)
+    return memberships
+
+
+class TestOverlappingCommunities:
+    def test_basic(self, cfg):
+        n = 120
+        degrees = np.full(n, 6)
+        g, info = overlapping_communities(degrees, two_overlapping(), config=cfg)
+        assert g.is_simple()
+        assert g.n == n
+        names = {l["level"] for l in info["layers"]}
+        assert names == {"community-0", "community-1"}
+
+    def test_overlap_vertices_connect_to_both(self, cfg):
+        n = 120
+        degrees = np.full(n, 8)
+        g, _ = overlapping_communities(degrees, two_overlapping(), config=cfg)
+        # an overlap vertex should have neighbors on both exclusive sides
+        overlap = range(50, 70)
+        left_only = set(range(0, 50))
+        right_only = set(range(70, 120))
+        hits_left = hits_right = 0
+        for v in overlap:
+            nbrs = set(g.v[g.u == v].tolist()) | set(g.u[g.v == v].tolist())
+            hits_left += bool(nbrs & left_only)
+            hits_right += bool(nbrs & right_only)
+        assert hits_left > 10 and hits_right > 10
+
+    def test_background_layer(self, cfg):
+        n = 90
+        degrees = np.full(n, 4)
+        memberships = [[0] if v < 40 else [] for v in range(n)]
+        g, info = overlapping_communities(
+            degrees, memberships, background_share=0.25, config=cfg
+        )
+        assert g.is_simple()
+        assert any(l["level"] == "background" for l in info["layers"])
+        # community-less vertices still realize most of their degree
+        deg = g.degree_sequence()
+        assert deg[40:].mean() > 2.0
+
+    def test_custom_shares(self, cfg):
+        n = 60
+        degrees = np.full(n, 6)
+        memberships = [[0, 1] for _ in range(n)]
+        shares = [[0.8, 0.2] for _ in range(n)]
+        g, _ = overlapping_communities(degrees, memberships, shares=shares, config=cfg)
+        assert g.is_simple()
+
+    def test_validation(self, cfg):
+        with pytest.raises(ValueError, match="every vertex"):
+            overlapping_communities(np.full(5, 2), [[0]], config=cfg)
+        with pytest.raises(ValueError, match="background_share"):
+            overlapping_communities(
+                np.full(4, 2), [[0]] * 4, background_share=1.5, config=cfg
+            )
+        with pytest.raises(ValueError):
+            overlapping_communities(
+                np.full(4, 2), [[0]] * 4, shares=[[0.5]] * 3, config=cfg
+            )
+
+    def test_degree_budget_respected(self, cfg):
+        """Realized degrees track targets despite overlap."""
+        n = 120
+        degrees = np.full(n, 10)
+        g, _ = overlapping_communities(degrees, two_overlapping(), config=cfg)
+        assert g.degree_sequence().sum() >= 0.9 * degrees.sum()

@@ -1,0 +1,53 @@
+"""Tests for the multiprocessing backend."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.mp_backend import available_workers, process_chunk_map
+from repro.parallel.runtime import ParallelConfig
+
+# module-level kernel: must be picklable for the process pool
+def _iota_kernel(lo, hi, seed, offset):
+    return np.arange(lo, hi, dtype=np.int64) + offset
+
+
+def _seeded_kernel(lo, hi, seed):
+    return np.random.default_rng(seed).integers(0, 100, size=hi - lo)
+
+
+class TestAvailableWorkers:
+    def test_clamps_to_host(self):
+        assert 1 <= available_workers(10**6) <= 10**6
+
+    def test_minimum_one(self):
+        assert available_workers(0) == 1
+
+
+class TestProcessChunkMap:
+    def test_vectorized_backend_runs_inline(self):
+        cfg = ParallelConfig(threads=4, backend="vectorized", seed=0)
+        chunks = process_chunk_map(_iota_kernel, 10, cfg, 5)
+        np.testing.assert_array_equal(np.concatenate(chunks), np.arange(10) + 5)
+
+    def test_process_backend_same_result(self):
+        inline = process_chunk_map(
+            _seeded_kernel, 40, ParallelConfig(threads=4, backend="vectorized", seed=3)
+        )
+        procs = process_chunk_map(
+            _seeded_kernel, 40, ParallelConfig(threads=4, backend="process", seed=3)
+        )
+        np.testing.assert_array_equal(np.concatenate(inline), np.concatenate(procs))
+
+    def test_empty_range(self):
+        cfg = ParallelConfig(threads=4, seed=0)
+        assert process_chunk_map(_iota_kernel, 0, cfg, 0) == []
+
+    def test_single_chunk_skips_pool(self):
+        cfg = ParallelConfig(threads=1, backend="process", seed=0)
+        chunks = process_chunk_map(_iota_kernel, 5, cfg, 0)
+        assert len(chunks) == 1
+
+    def test_chunk_order_preserved(self):
+        cfg = ParallelConfig(threads=3, seed=0)
+        chunks = process_chunk_map(_iota_kernel, 9, cfg, 0)
+        assert [c[0] for c in chunks] == [0, 3, 6]

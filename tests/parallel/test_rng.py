@@ -1,0 +1,67 @@
+"""Tests for reproducible parallel RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.rng import generator_from_seed, spawn_generators
+
+
+class TestGeneratorFromSeed:
+    def test_none_gives_generator(self):
+        assert isinstance(generator_from_seed(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = generator_from_seed(42).random(8)
+        b = generator_from_seed(42).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            generator_from_seed(1).random(8), generator_from_seed(2).random(8)
+        )
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert generator_from_seed(rng) is rng
+
+    def test_seedsequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        a = generator_from_seed(ss).random(4)
+        b = generator_from_seed(np.random.SeedSequence(7)).random(4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5) ) == 5
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_reproducible(self):
+        a = [g.random(4) for g in spawn_generators(3, 4)]
+        b = [g.random(4) for g in spawn_generators(3, 4)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_children_mutually_distinct(self):
+        gens = spawn_generators(9, 6)
+        draws = [tuple(g.random(4)) for g in gens]
+        assert len(set(draws)) == 6
+
+    def test_spawn_from_generator_advances_parent(self):
+        rng = np.random.default_rng(5)
+        state0 = rng.bit_generator.state["state"]["state"]
+        spawn_generators(rng, 2)
+        assert rng.bit_generator.state["state"]["state"] != state0
+
+    def test_spawn_from_seedsequence(self):
+        ss = np.random.SeedSequence(11)
+        a = [g.random(2) for g in spawn_generators(ss, 3)]
+        b = [g.random(2) for g in spawn_generators(np.random.SeedSequence(11), 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)

@@ -1,0 +1,61 @@
+"""API hygiene: every public item is exported, documented, importable."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.rsplit(".", 1)[-1].startswith("_")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_importable_and_documented(module_name):
+    mod = importlib.import_module(module_name)
+    assert mod.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_exist(module_name):
+    mod = importlib.import_module(module_name)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_callables_documented(module_name):
+    mod = importlib.import_module(module_name)
+    for name in getattr(mod, "__all__", []):
+        obj = getattr(mod, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            # only require docs for items defined in this package
+            if (getattr(obj, "__module__", "") or "").startswith("repro"):
+                assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_methods_documented(module_name):
+    mod = importlib.import_module(module_name)
+    for name in getattr(mod, "__all__", []):
+        obj = getattr(mod, name)
+        if inspect.isclass(obj) and (getattr(obj, "__module__", "") or "").startswith(
+            "repro"
+        ):
+            for meth_name, meth in inspect.getmembers(obj, inspect.isfunction):
+                if meth_name.startswith("_"):
+                    continue
+                if meth.__qualname__.startswith(obj.__name__):
+                    assert meth.__doc__, (
+                        f"{module_name}.{name}.{meth_name} lacks a docstring"
+                    )
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None
