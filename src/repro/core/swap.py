@@ -56,7 +56,11 @@ import numpy as np
 
 from repro.graph.edgelist import EdgeList
 from repro.parallel.cost_model import CostModel
-from repro.parallel.hashtable import ConcurrentEdgeHashTable, pack_edges
+from repro.parallel.hashtable import (
+    ConcurrentEdgeHashTable,
+    ShardedEdgeHashTable,
+    pack_edges,
+)
 from repro.parallel.permutation import (
     PermutationStats,
     fisher_yates_permutation,
@@ -162,8 +166,53 @@ def swap_edges(
     n_pairs = m // 2
     swapped = np.zeros(m, dtype=bool)
 
-    table = ConcurrentEdgeHashTable(2 * m + 16, probing=probing)
+    # Backend dispatch for the TestAndSet engine.  All three backends
+    # produce identical verdicts (set membership with first-occurrence
+    # semantics), so outputs are bitwise identical for a fixed seed:
+    #
+    # - "vectorized" (default): the flat table's batched round protocol;
+    # - "serial": the flat table's one-key-at-a-time reference;
+    # - "process": the sharded shared-memory table driven by a persistent
+    #   pool of real worker processes (created once here, reused across
+    #   the whole iterations loop, torn down in the finally block).
+    engine = None
+    if config.backend == "process" and check_duplicates and m > 0:
+        from repro.parallel.mp_backend import SwapWorkerPool
 
+        table = ShardedEdgeHashTable(
+            2 * m + 16,
+            n_shards=config.shards or None,
+            probing=probing,
+            workers_hint=config.threads,
+        )
+        engine = SwapWorkerPool(table, config.threads, capacity=m)
+        tas = engine.test_and_set
+    else:
+        table = ConcurrentEdgeHashTable(2 * m + 16, probing=probing)
+        tas = (
+            table.test_and_set_serial
+            if config.backend == "serial"
+            else table.test_and_set
+        )
+
+    try:
+        u, v = _swap_loop(
+            u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
+            check_duplicates, check_loops, stats, cost, callback, graph.n,
+        )
+    finally:
+        if engine is not None:
+            engine.close()
+            table.close()
+
+    return EdgeList(u, v, graph.n)
+
+
+def _swap_loop(
+    u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
+    check_duplicates, check_loops, stats, cost, callback, n_vertices,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The per-iteration body of :func:`swap_edges` (backend-agnostic)."""
     for it in range(iterations):
         t0 = time.perf_counter()
         table.clear()
@@ -171,7 +220,7 @@ def swap_edges(
         failures_before = table.stats.failures
         # Phase 1: register all current edges (duplicate-checked spaces).
         if check_duplicates:
-            table.test_and_set(pack_edges(u, v))
+            tas(pack_edges(u, v))
 
         # Phase 2: parallel permutation of the edge list.
         perm_stats = PermutationStats()
@@ -200,14 +249,12 @@ def swap_edges(
             loop_h = hu == hv
 
             if check_duplicates:
-                g_present = table.test_and_set(pack_edges(gu, gv))
+                g_present = tas(pack_edges(gu, gv))
                 # short-circuit: h only attempted when g was absent
                 h_try = ~g_present
                 h_present = np.ones(n_pairs, dtype=bool)
                 if h_try.any():
-                    h_present[h_try] = table.test_and_set(
-                        pack_edges(hu[h_try], hv[h_try])
-                    )
+                    h_present[h_try] = tas(pack_edges(hu[h_try], hv[h_try]))
             else:
                 g_present = np.zeros(n_pairs, dtype=bool)
                 h_present = np.zeros(n_pairs, dtype=bool)
@@ -243,8 +290,10 @@ def swap_edges(
             stats.swapped_fraction_per_iteration.append(
                 float(swapped.mean()) if m else 0.0
             )
-            stats.table_attempts = table.stats.attempts
-            stats.table_failures = table.stats.failures
+            # delta accumulation: a SwapStats object reused across
+            # multiple swap_edges calls keeps the earlier runs' counts
+            stats.table_attempts += table.stats.attempts - attempts_before
+            stats.table_failures += table.stats.failures - failures_before
             stats.permutation_rounds += perm_stats.rounds
         if cost is not None:
             elapsed = time.perf_counter() - t0
@@ -252,9 +301,19 @@ def swap_edges(
             cost.add("permutation", work=float(perm_stats.attempts * 2), depth=float(perm_stats.rounds), seconds=elapsed * 0.4)
             cost.add("swap", work=float(2 * m), depth=float(4 + (table.stats.failures - failures_before > 0)), seconds=elapsed * 0.6)
         if callback is not None:
-            callback(it, EdgeList(u.copy(), v.copy(), graph.n))
+            callback(it, EdgeList(u.copy(), v.copy(), n_vertices))
 
-    return EdgeList(u, v, graph.n)
+    return u, v
+
+
+def _pack_key(a: int, b: int) -> int:
+    """Scalar :func:`pack_edges` on Python ints (smaller endpoint high).
+
+    The MCMC inner loop packs four keys per step; going through
+    single-element numpy arrays dominates its runtime, so the scalar hot
+    path uses plain integer arithmetic with identical semantics.
+    """
+    return (a << 32) | b if a <= b else (b << 32) | a
 
 
 def serial_swap_chain(
@@ -297,13 +356,11 @@ def serial_swap_chain(
             g = (a, d)
             h = (b, c)
         if g[0] != g[1] and h[0] != h[1]:
-            gk = int(pack_edges(np.asarray([g[0]]), np.asarray([g[1]]))[0])
-            hk = int(pack_edges(np.asarray([h[0]]), np.asarray([h[1]]))[0])
+            gk = _pack_key(g[0], g[1])
+            hk = _pack_key(h[0], h[1])
             if gk != hk and gk not in edge_set and hk not in edge_set:
-                ek = int(pack_edges(np.asarray([a]), np.asarray([b]))[0])
-                fk = int(pack_edges(np.asarray([c]), np.asarray([d]))[0])
-                edge_set.discard(ek)
-                edge_set.discard(fk)
+                edge_set.discard(_pack_key(a, b))
+                edge_set.discard(_pack_key(c, d))
                 edge_set.add(gk)
                 edge_set.add(hk)
                 u[i], v[i] = g

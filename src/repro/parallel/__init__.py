@@ -33,7 +33,13 @@ from repro.parallel.permutation import (
     fisher_yates_permutation,
     sort_permutation,
 )
-from repro.parallel.hashtable import ConcurrentEdgeHashTable, pack_edges, unpack_edges
+from repro.parallel.hashtable import (
+    ConcurrentEdgeHashTable,
+    ShardedEdgeHashTable,
+    pack_edges,
+    unpack_edges,
+)
+from repro.parallel.shm import SharedArray, ShmDescriptor
 from repro.parallel.cost_model import CostModel, PhaseCost
 
 __all__ = [
@@ -48,6 +54,9 @@ __all__ = [
     "fisher_yates_permutation",
     "sort_permutation",
     "ConcurrentEdgeHashTable",
+    "ShardedEdgeHashTable",
+    "SharedArray",
+    "ShmDescriptor",
     "pack_edges",
     "unpack_edges",
     "CostModel",

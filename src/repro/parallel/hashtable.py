@@ -30,9 +30,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.parallel.atomics import ContentionStats
+from repro.parallel.shm import SharedArray, ShmDescriptor
 
 __all__ = [
     "ConcurrentEdgeHashTable",
+    "ShardedEdgeHashTable",
+    "SHARD_STAT_COLUMNS",
     "pack_edges",
     "unpack_edges",
     "EMPTY_KEY",
@@ -254,6 +257,300 @@ class ConcurrentEdgeHashTable:
                 np.int64
             )
             existing = self._slots[slot]
+            hit = existing == k
+            miss = existing == EMPTY_KEY
+            found[unresolved[hit]] = True
+            cont = ~hit & ~miss
+            probe[unresolved[cont]] += 1
+            unresolved = unresolved[cont]
+        return found
+
+
+# -- sharded shared-memory table (process backend) -----------------------
+
+#: Per-shard statistics columns recorded by :class:`ShardedEdgeHashTable`.
+#: ``attempts``/``failures`` follow the CAS accounting of
+#: :class:`ConcurrentEdgeHashTable` (claims on empty slots, and claims
+#: that lost a same-slot same-round race within the batch); ``probe_adv``
+#: counts probe-sequence advances past a foreign key (the open-addressing
+#: collision the paper's "collisions are rather rare" claim concerns);
+#: ``inserted`` counts keys written; ``max_probe`` is the longest probe
+#: sequence the shard has seen.
+SHARD_STAT_COLUMNS = ("attempts", "failures", "rounds", "probe_adv", "inserted", "max_probe")
+
+_S_ATTEMPTS, _S_FAILURES, _S_ROUNDS, _S_PROBE_ADV, _S_INSERTED, _S_MAX_PROBE = range(6)
+
+
+def _next_pow2(x: int) -> int:
+    n = 1
+    while n < x:
+        n *= 2
+    return n
+
+
+class ShardedEdgeHashTable:
+    """Shard-partitioned TestAndSet table living in shared memory.
+
+    The slot space is split into ``n_shards`` independent open-addressing
+    sub-tables, all backed by one ``multiprocessing.shared_memory``
+    segment of shape ``(n_shards, slots_per_shard)``.  A key's shard is
+    ``hash(key) % n_shards`` (low bits of the SplitMix64 hash); its probe
+    sequence uses the remaining hash bits, so shard choice and slot
+    choice are independent.  Worker processes attach by
+    :meth:`descriptor` — no pickling of the table — and each shard has a
+    **single writer per phase** (the swap pool routes shard ``s`` to
+    worker ``s % n_workers``), so cross-process slot updates never race.
+
+    Within a batch the per-shard insertion runs the same round-by-round
+    lock-free protocol as :class:`ConcurrentEdgeHashTable` (lowest index
+    wins a contended empty slot, losers retry), which makes the verdicts
+    — "was this key already present in the table or earlier in the
+    batch" — identical to the vectorized engine's and to a serial
+    execution.  Per-shard contention counters (see
+    :data:`SHARD_STAT_COLUMNS`) live in a second shared segment so the
+    parent can aggregate them after workers have run.
+    """
+
+    def __init__(
+        self,
+        capacity_hint: int,
+        *,
+        n_shards: int | None = None,
+        probing: str = "linear",
+        workers_hint: int = 1,
+        _attach: tuple | None = None,
+    ) -> None:
+        if _attach is not None:
+            slots_desc, stats_desc, probing = _attach
+            self.probing = probing
+            self._shm_slots = SharedArray.attach(slots_desc)
+            self._shm_stats = SharedArray.attach(stats_desc)
+            self._owner = False
+        else:
+            if capacity_hint < 0:
+                raise ValueError("capacity_hint must be >= 0")
+            if probing not in ("linear", "quadratic"):
+                raise ValueError(
+                    f"probing must be 'linear' or 'quadratic', got {probing!r}"
+                )
+            self.probing = probing
+            if n_shards is None:
+                n_shards = max(8, 4 * max(1, int(workers_hint)))
+            if n_shards < 1:
+                raise ValueError("n_shards must be >= 1")
+            n_shards = _next_pow2(int(n_shards))
+            # 4x headroom absorbs the binomial imbalance of hashing keys
+            # across shards; each shard keeps the <=50% load factor of the
+            # flat table with high probability.
+            slots_per_shard = _next_pow2(
+                max(16, -(-4 * max(capacity_hint, 1) // n_shards))
+            )
+            self._shm_slots = SharedArray((n_shards, slots_per_shard), np.int64)
+            self._shm_slots.array.fill(EMPTY_KEY)
+            self._shm_stats = SharedArray(
+                (n_shards, len(SHARD_STAT_COLUMNS)), np.int64
+            )
+            self._shm_stats.array.fill(0)
+            self._owner = True
+        self._slots = self._shm_slots.array
+        self._stats = self._shm_stats.array
+        self.n_shards = int(self._slots.shape[0])
+        self._shard_mask = np.uint64(self.n_shards - 1)
+        self._shard_bits = int(self.n_shards - 1).bit_length()
+        self._slot_mask = np.uint64(self._slots.shape[1] - 1)
+        # process-local CAS-resolution scratch, one entry per shard slot
+        self._claim_scratch = np.full(
+            self._slots.shape[1], np.iinfo(np.int64).max, dtype=np.int64
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def descriptor(self) -> tuple[ShmDescriptor, ShmDescriptor, str]:
+        """Picklable handle workers use to :meth:`attach`."""
+        return (self._shm_slots.descriptor, self._shm_stats.descriptor, self.probing)
+
+    @classmethod
+    def attach(cls, descriptor) -> "ShardedEdgeHashTable":
+        """Map a table created by another process (never unlinks it)."""
+        return cls(0, _attach=tuple(descriptor))
+
+    def close(self) -> None:
+        """Release this process's mapping; the owner also unlinks."""
+        self._slots = None
+        self._stats = None
+        self._shm_slots.close()
+        self._shm_stats.close()
+
+    def __enter__(self) -> "ShardedEdgeHashTable":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- geometry --------------------------------------------------------
+
+    @property
+    def slots_per_shard(self) -> int:
+        return int(self._slots.shape[1])
+
+    @property
+    def n_slots(self) -> int:
+        """Total slot count across all shards."""
+        return int(self._slots.size)
+
+    @property
+    def size(self) -> int:
+        """Number of keys currently stored (scans the slot array)."""
+        return int(np.count_nonzero(self._slots != EMPTY_KEY))
+
+    def shard_of(self, keys: np.ndarray) -> np.ndarray:
+        """Owning shard id per key: ``hash(key) % n_shards``."""
+        keys = np.asarray(keys, dtype=np.int64)
+        return (_splitmix64(keys) & self._shard_mask).astype(np.int64)
+
+    def _slot_home(self, keys: np.ndarray) -> np.ndarray:
+        """Home slot within the shard (hash bits above the shard bits)."""
+        return _splitmix64(keys) >> np.uint64(self._shard_bits)
+
+    def _probe_offsets(self, r: np.ndarray) -> np.ndarray:
+        if self.probing == "linear":
+            return r.astype(np.uint64)
+        r64 = r.astype(np.uint64)
+        return (r64 * (r64 + np.uint64(1))) >> np.uint64(1)
+
+    # -- statistics ------------------------------------------------------
+
+    @property
+    def per_shard_stats(self) -> dict[str, np.ndarray]:
+        """Copy of the per-shard counters, keyed by column name."""
+        snap = self._stats.copy()
+        return {name: snap[:, i] for i, name in enumerate(SHARD_STAT_COLUMNS)}
+
+    @property
+    def stats(self) -> ContentionStats:
+        """Aggregate CAS contention view (compatible with the flat table)."""
+        s = ContentionStats()
+        s.attempts = int(self._stats[:, _S_ATTEMPTS].sum())
+        s.failures = int(self._stats[:, _S_FAILURES].sum())
+        s.rounds = int(self._stats[:, _S_ROUNDS].sum())
+        return s
+
+    @property
+    def max_probe(self) -> int:
+        return int(self._stats[:, _S_MAX_PROBE].max(initial=0))
+
+    # -- operations ------------------------------------------------------
+
+    def clear(self) -> None:
+        """Empty every shard (contention counters persist, as in the flat
+        table, so per-run totals accumulate across iterations)."""
+        self._slots.fill(EMPTY_KEY)
+
+    def test_and_set(self, keys: np.ndarray) -> np.ndarray:
+        """Insert ``keys``; return per-key "was already present" flags.
+
+        Groups the batch by shard and runs the lock-free round protocol
+        on each shard's slot row.  Safe for concurrent callers **only**
+        when their shard sets are disjoint (the swap pool's ownership
+        routing guarantees this); a single process may always call it on
+        arbitrary keys.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.ndim != 1:
+            raise ValueError("test_and_set expects a 1-D key array")
+        if keys.size and np.any(keys < 0):
+            raise ValueError("keys must be non-negative (packed edges)")
+        present = np.zeros(len(keys), dtype=bool)
+        if not len(keys):
+            return present
+        shards = self.shard_of(keys)
+        order = np.argsort(shards, kind="stable")
+        sorted_shards = shards[order]
+        boundaries = np.flatnonzero(np.diff(sorted_shards)) + 1
+        for group in np.split(order, boundaries):
+            shard = int(shards[group[0]])
+            present[group] = self._shard_test_and_set(shard, keys[group])
+        return present
+
+    def _shard_test_and_set(self, shard: int, keys: np.ndarray) -> np.ndarray:
+        """Round-by-round TestAndSet on one shard row (single writer)."""
+        n = len(keys)
+        present = np.zeros(n, dtype=bool)
+        row = self._slots[shard]
+        stats_row = self._stats[shard]
+        home = self._slot_home(keys)
+        probe = np.zeros(n, dtype=np.int64)
+        unresolved = np.arange(n)
+        scratch = self._claim_scratch
+
+        max_rounds = 2 * len(row) + 4
+        for _ in range(max_rounds):
+            if len(unresolved) == 0:
+                return present
+            k = keys[unresolved]
+            slot = (
+                (home[unresolved] + self._probe_offsets(probe[unresolved]))
+                & self._slot_mask
+            ).astype(np.int64)
+            existing = row[slot]
+
+            is_mine = existing == k
+            is_empty = existing == EMPTY_KEY
+            is_other = ~is_mine & ~is_empty
+
+            present[unresolved[is_mine]] = True
+
+            claim_idx = unresolved[is_empty]
+            if len(claim_idx):
+                claim_slots = slot[is_empty]
+                np.minimum.at(scratch, claim_slots, claim_idx)
+                won = scratch[claim_slots] == claim_idx
+                scratch[claim_slots] = np.iinfo(np.int64).max
+                stats_row[_S_ATTEMPTS] += len(claim_idx)
+                stats_row[_S_FAILURES] += len(claim_idx) - int(won.sum())
+                stats_row[_S_ROUNDS] += 1
+                winners = claim_idx[won]
+                row[claim_slots[won]] = keys[winners]
+                stats_row[_S_INSERTED] += len(winners)
+
+            adv = unresolved[is_other]
+            probe[adv] += 1
+            if len(adv):
+                stats_row[_S_PROBE_ADV] += len(adv)
+                stats_row[_S_MAX_PROBE] = max(
+                    int(stats_row[_S_MAX_PROBE]), int(probe[adv].max())
+                )
+
+            keep = np.zeros(len(unresolved), dtype=bool)
+            keep[is_other] = True
+            if len(claim_idx):
+                keep[np.flatnonzero(is_empty)[~won]] = True
+            unresolved = unresolved[keep]
+        raise RuntimeError(
+            f"hash table shard {shard} full: probing did not terminate "
+            f"(slots_per_shard={self.slots_per_shard})"
+        )
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        """Membership test without insertion."""
+        keys = np.asarray(keys, dtype=np.int64)
+        n = len(keys)
+        found = np.zeros(n, dtype=bool)
+        if n == 0:
+            return found
+        shards = self.shard_of(keys)
+        home = self._slot_home(keys)
+        probe = np.zeros(n, dtype=np.int64)
+        unresolved = np.arange(n)
+        for _ in range(self.slots_per_shard + 1):
+            if len(unresolved) == 0:
+                break
+            k = keys[unresolved]
+            slot = (
+                (home[unresolved] + self._probe_offsets(probe[unresolved]))
+                & self._slot_mask
+            ).astype(np.int64)
+            existing = self._slots[shards[unresolved], slot]
             hit = existing == k
             miss = existing == EMPTY_KEY
             found[unresolved[hit]] = True

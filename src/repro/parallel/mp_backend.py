@@ -2,29 +2,53 @@
 
 CPython's GIL rules out shared-memory threading for the compute kernels,
 so the ``backend="process"`` path of :class:`~repro.parallel.runtime.ParallelConfig`
-fans chunk kernels out to worker processes.  Kernels must be module-level
-functions (picklable) that take ``(lo, hi, seed, *shared_args)`` and
-return an ndarray; results are concatenated in chunk order so the output
-is independent of completion order.
+fans work out to worker processes.  Two mechanisms live here:
 
-This backend is functionally identical to the vectorized engine (same
-chunk partitioning, same per-chunk RNG streams) and is exercised by the
-test suite; on multi-core hosts it provides genuine parallel speedup for
-the embarrassingly parallel phases (edge skipping, per-chunk statistics).
+- :func:`process_chunk_map` — the embarrassingly parallel path.  Kernels
+  must be module-level functions (picklable) that take
+  ``(lo, hi, seed, *shared_args)`` and return an ndarray; results are
+  concatenated in chunk order so the output is independent of completion
+  order.  Chunks run on the **persistent** pool from
+  :func:`repro.parallel.runtime.get_executor` — one fork per worker per
+  interpreter, not per call.
+
+- :class:`SwapWorkerPool` — the swap engine's runtime.  Workers are
+  dedicated processes holding an attachment to a
+  :class:`~repro.parallel.hashtable.ShardedEdgeHashTable` whose slot
+  arrays live in ``multiprocessing.shared_memory``; the parent routes
+  each key batch to the worker owning its shard (``shard % n_workers``)
+  through a shared key buffer, workers perform ``TestAndSet`` against
+  their shards and write verdict flags to a shared flags buffer, and the
+  parent reassembles per-key results.  Each shard has exactly one writer
+  per phase, so no cross-process lock is ever taken, and the verdicts —
+  plain set membership — are identical to the vectorized engine's.  The
+  pool is created once per :func:`~repro.core.swap.swap_edges` call,
+  reused across the whole iterations loop, and torn down via context
+  manager (with an ``atexit`` safety net).
+
+Both backends are functionally identical to the vectorized engine (same
+chunk partitioning, same per-chunk RNG streams, same TestAndSet
+verdicts) and are exercised by the differential test harness; on
+multi-core hosts they provide genuine parallel speedup.
 """
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing as mp
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Sequence
+import queue
+import traceback
+from typing import Callable
 
 import numpy as np
 
+from repro.parallel.hashtable import ShardedEdgeHashTable
 from repro.parallel.rng import spawn_generators
-from repro.parallel.runtime import ParallelConfig, chunk_bounds
+from repro.parallel.runtime import ParallelConfig, chunk_bounds, get_executor
+from repro.parallel.shm import SharedArray
 
-__all__ = ["process_chunk_map", "available_workers"]
+__all__ = ["process_chunk_map", "available_workers", "SwapWorkerPool"]
 
 
 def available_workers(requested: int) -> int:
@@ -45,7 +69,9 @@ def process_chunk_map(
     per-chunk seeds are spawned from ``config.seed`` exactly as the
     vectorized engine does, so both backends draw identical random
     streams chunk-for-chunk.  Returns the per-chunk result arrays in chunk
-    order.
+    order.  ``backend="process"`` submissions go to the persistent pool
+    (:func:`repro.parallel.runtime.get_executor`), so repeated calls reuse
+    the same worker processes.
     """
     p = config.threads
     bounds = chunk_bounds(n, p)
@@ -57,7 +83,203 @@ def process_chunk_map(
     ]
     if config.backend != "process" or len(jobs) <= 1:
         return [kernel(lo, hi, seed, *shared_args) for lo, hi, seed in jobs]
-    workers = available_workers(p)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(kernel, lo, hi, seed, *shared_args) for lo, hi, seed in jobs]
-        return [f.result() for f in futures]
+    pool = get_executor(available_workers(p))
+    futures = [pool.submit(kernel, lo, hi, seed, *shared_args) for lo, hi, seed in jobs]
+    return [f.result() for f in futures]
+
+
+# -- the swap engine's dedicated worker pool -----------------------------
+
+
+def _mp_context():
+    """Fork when available (cheap startup, inherited imports); else default."""
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return mp.get_context()
+
+
+def _swap_worker(
+    worker_id: int,
+    table_desc,
+    keys_desc,
+    flags_desc,
+    task_queue,
+    done_queue,
+) -> None:
+    """Worker loop: attach to the shared table, serve TestAndSet batches.
+
+    Messages are ``("tas", lo, hi)`` — run TestAndSet over
+    ``keys[lo:hi]`` (all shards in that range are owned by this worker)
+    and write verdicts to ``flags[lo:hi]`` — or ``("stop",)``.
+    """
+    table = ShardedEdgeHashTable.attach(table_desc)
+    keys_buf = SharedArray.attach(keys_desc)
+    flags_buf = SharedArray.attach(flags_desc)
+    try:
+        while True:
+            msg = task_queue.get()
+            if msg is None or msg[0] == "stop":
+                break
+            try:
+                _, lo, hi = msg
+                present = table.test_and_set(keys_buf.array[lo:hi])
+                flags_buf.array[lo:hi] = present
+                done_queue.put((worker_id, None))
+            except BaseException:
+                done_queue.put((worker_id, traceback.format_exc()))
+    finally:
+        table.close()
+        keys_buf.close()
+        flags_buf.close()
+
+
+class SwapWorkerPool:
+    """Persistent worker processes driving a shared-memory sharded table.
+
+    Created once per swap run and reused for every ``TestAndSet`` batch
+    of every iteration (edge registration, g-proposals, h-proposals).
+    Key routing: shard ``s`` belongs to worker ``s % n_workers``, giving
+    each shard a single writer per phase — the conflict semantics of the
+    paper's lock-free table without any cross-process locking.
+
+    Parameters
+    ----------
+    table:
+        The (owner-side) sharded table workers will attach to.
+    workers:
+        Worker process count — the paper's thread count *p*, deliberately
+        **not** clamped to the host core count so conflict behavior is
+        reproducible regardless of hardware (oversubscription only costs
+        time).
+    capacity:
+        Maximum keys per batch (the edge count ``m`` for a swap run);
+        sizes the shared key/flag exchange buffers.
+    """
+
+    def __init__(self, table: ShardedEdgeHashTable, workers: int, *, capacity: int) -> None:
+        self._table = table
+        self.n_workers = max(1, int(workers))
+        capacity = max(1, int(capacity))
+        self._keys_buf = SharedArray((capacity,), np.int64)
+        self._flags_buf = SharedArray((capacity,), np.uint8)
+        ctx = _mp_context()
+        self._task_queues = [ctx.SimpleQueue() for _ in range(self.n_workers)]
+        # a full Queue (not SimpleQueue) so the completion barrier can poll
+        # with a timeout and notice workers that died without replying
+        self._done_queue = ctx.Queue()
+        self._procs = [
+            ctx.Process(
+                target=_swap_worker,
+                args=(
+                    w,
+                    table.descriptor(),
+                    self._keys_buf.descriptor,
+                    self._flags_buf.descriptor,
+                    self._task_queues[w],
+                    self._done_queue,
+                ),
+                daemon=True,
+            )
+            for w in range(self.n_workers)
+        ]
+        for p in self._procs:
+            p.start()
+        self._closed = False
+        self._atexit = atexit.register(self.close)
+
+    # -- operations ------------------------------------------------------
+
+    def test_and_set(self, keys: np.ndarray) -> np.ndarray:
+        """TestAndSet ``keys`` across the worker fleet; per-key verdicts.
+
+        Groups the batch by owning worker (stable sort, so same-key
+        duplicates keep their relative order and lowest-index-wins
+        resolution matches the vectorized engine), scatters the groups
+        through the shared key buffer, barriers on worker completions,
+        and gathers the verdict flags back into input order.
+        """
+        if self._closed:
+            raise RuntimeError("SwapWorkerPool is closed")
+        keys = np.asarray(keys, dtype=np.int64)
+        n = len(keys)
+        present = np.zeros(n, dtype=bool)
+        if n == 0:
+            return present
+        if n > len(self._keys_buf.array):
+            raise ValueError(
+                f"batch of {n} keys exceeds pool capacity {len(self._keys_buf.array)}"
+            )
+        owner = self._table.shard_of(keys) % self.n_workers
+        order = np.argsort(owner, kind="stable")
+        self._keys_buf.array[:n] = keys[order]
+        counts = np.bincount(owner, minlength=self.n_workers)
+        bounds = np.zeros(self.n_workers + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        active = 0
+        for w in range(self.n_workers):
+            lo, hi = int(bounds[w]), int(bounds[w + 1])
+            if hi > lo:
+                self._task_queues[w].put(("tas", lo, hi))
+                active += 1
+        errors = []
+        done = 0
+        while done < active:
+            try:
+                worker_id, err = self._done_queue.get(timeout=1.0)
+            except queue.Empty:
+                dead = [w for w, p in enumerate(self._procs) if not p.is_alive()]
+                if dead:
+                    self.close()
+                    raise RuntimeError(
+                        f"swap worker(s) {dead} died without completing a batch "
+                        "(killed or crashed); pool torn down"
+                    )
+                continue
+            done += 1
+            if err is not None:
+                errors.append((worker_id, err))
+        if errors:
+            detail = "\n".join(f"[worker {w}]\n{e}" for w, e in errors)
+            raise RuntimeError(f"swap worker failure:\n{detail}")
+        present[order] = self._flags_buf.array[:n].astype(bool)
+        return present
+
+    def clear(self) -> None:
+        """Clear the shared table (workers are idle between batches)."""
+        self._table.clear()
+
+    @property
+    def stats(self):
+        """Aggregated table contention view (parent-side read of shm)."""
+        return self._table.stats
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop workers, join them, release the exchange buffers."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        for q in self._task_queues:
+            try:
+                q.put(("stop",))
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                pass
+        for p in self._procs:
+            p.join(timeout=5)
+            if p.is_alive():  # pragma: no cover - stuck worker
+                p.terminate()
+                p.join(timeout=1)
+        for q in self._task_queues:
+            q.close()
+        self._done_queue.close()
+        self._keys_buf.close()
+        self._flags_buf.close()
+
+    def __enter__(self) -> "SwapWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

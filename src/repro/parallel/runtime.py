@@ -20,6 +20,10 @@ parallel loops, equivalent to OpenMP's ``schedule(static)``.
 
 from __future__ import annotations
 
+import atexit
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Iterator
 
@@ -27,7 +31,14 @@ import numpy as np
 
 from repro.parallel.rng import generator_from_seed, spawn_generators
 
-__all__ = ["ParallelConfig", "chunk_bounds", "chunk_views", "BACKENDS"]
+__all__ = [
+    "ParallelConfig",
+    "chunk_bounds",
+    "chunk_views",
+    "BACKENDS",
+    "get_executor",
+    "shutdown_executors",
+]
 
 BACKENDS = ("vectorized", "serial", "process")
 
@@ -46,11 +57,17 @@ class ParallelConfig:
         One of ``"vectorized"``, ``"serial"``, ``"process"``.
     seed:
         Base seed; ``None`` draws fresh entropy.
+    shards:
+        Shard count for the process backend's shared-memory hash table
+        (rounded up to a power of two).  ``0`` (default) auto-sizes to
+        ``max(8, 4 * threads)`` so shard ownership spreads evenly across
+        the worker processes.
     """
 
     threads: int = 16
     backend: str = "vectorized"
     seed: object = None
+    shards: int = 0
 
     def __post_init__(self) -> None:
         if self.threads < 1:
@@ -59,6 +76,8 @@ class ParallelConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
             )
+        if self.shards < 0:
+            raise ValueError(f"shards must be >= 0, got {self.shards}")
 
     def generator(self) -> np.random.Generator:
         """A single generator derived from :attr:`seed`."""
@@ -102,3 +121,48 @@ def chunk_views(array: np.ndarray, chunks: int) -> Iterator[np.ndarray]:
     bounds = chunk_bounds(len(array), chunks)
     for k in range(chunks):
         yield array[bounds[k] : bounds[k + 1]]
+
+
+# -- persistent process-pool runtime -------------------------------------
+#
+# Spinning up a ProcessPoolExecutor costs a fork + pipe setup per worker;
+# paying that on every kernel call swamps the kernels themselves.  The
+# registry below keeps one executor alive per worker count, shared by all
+# process-backend entry points, created on first use and torn down at
+# interpreter exit (or explicitly via shutdown_executors, which the tests
+# use to assert lifecycle behavior).
+
+_EXECUTORS: dict[int, ProcessPoolExecutor] = {}
+_EXECUTORS_LOCK = threading.Lock()
+
+
+def get_executor(workers: int) -> ProcessPoolExecutor:
+    """Return the persistent process pool for ``workers`` workers.
+
+    The pool is created lazily, cached per worker count, and reused by
+    every subsequent call — ``backend="process"`` kernels across a whole
+    run share the same OS processes.  A pool that died (e.g. a worker was
+    killed) is replaced transparently.
+    """
+    workers = max(1, min(int(workers), os.cpu_count() or 1))
+    with _EXECUTORS_LOCK:
+        pool = _EXECUTORS.get(workers)
+        if pool is not None and getattr(pool, "_broken", False):
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=workers)
+            _EXECUTORS[workers] = pool
+        return pool
+
+
+def shutdown_executors() -> None:
+    """Tear down every cached process pool (also runs at exit)."""
+    with _EXECUTORS_LOCK:
+        pools = list(_EXECUTORS.values())
+        _EXECUTORS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_executors)

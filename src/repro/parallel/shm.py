@@ -1,0 +1,128 @@
+"""Shared-memory ndarray plumbing for the process backend.
+
+The sharded concurrent hash table and the swap worker pool exchange bulk
+data (slot arrays, key batches, verdict flags) through
+:mod:`multiprocessing.shared_memory` segments so that worker processes
+operate on the *same* physical pages as the parent — no pickling of the
+table, no copy per task.  :class:`SharedArray` wraps one segment as a
+numpy array and handles the three lifecycle problems that make raw
+``SharedMemory`` awkward:
+
+- **attachment by descriptor** — a :class:`SharedArray` reduces to a
+  small picklable :class:`ShmDescriptor` ``(name, shape, dtype)``; any
+  process can re-materialize the array with :meth:`SharedArray.attach`;
+- **ownership** — only the creating :class:`SharedArray` unlinks the
+  segment; attachments merely close their mapping, so worker exit never
+  tears down memory the parent still uses;
+- **orphan cleanup** — the creating process registers a
+  :func:`weakref.finalize` guard that unlinks the segment at
+  garbage-collection or interpreter exit, *gated on the creator's pid* so
+  a forked child inheriting the object never unlinks the parent's
+  memory.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory
+
+    HAVE_SHM = True
+except ImportError:  # pragma: no cover
+    shared_memory = None
+    HAVE_SHM = False
+
+__all__ = ["ShmDescriptor", "SharedArray", "HAVE_SHM"]
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """Picklable handle to a :class:`SharedArray` segment."""
+
+    name: str
+    shape: tuple
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+def _release(shm, pid: int, owner: bool) -> None:
+    """Finalizer: close the mapping; unlink only in the creating process."""
+    try:
+        shm.close()
+    except OSError:  # pragma: no cover - already closed
+        pass
+    if owner and os.getpid() == pid:
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class SharedArray:
+    """A numpy array backed by a named shared-memory segment.
+
+    Create with ``SharedArray(shape, dtype)`` in the owning process; ship
+    :attr:`descriptor` to workers; re-open there with :meth:`attach`.
+    The creating process is responsible for :meth:`unlink`; attachments
+    only :meth:`close`.
+    """
+
+    def __init__(self, shape, dtype, *, _shm=None, _owner: bool = True) -> None:
+        if not HAVE_SHM:  # pragma: no cover - defensive
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        shape = tuple(int(s) for s in (shape if np.iterable(shape) else (shape,)))
+        dtype = np.dtype(dtype)
+        nbytes = int(dtype.itemsize * int(np.prod(shape, dtype=np.int64)))
+        if _shm is None:
+            _shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        self._shm = _shm
+        self._owner = bool(_owner)
+        self.shape = shape
+        self.dtype = dtype
+        self.array = np.ndarray(shape, dtype=dtype, buffer=_shm.buf)
+        self._finalizer = weakref.finalize(
+            self, _release, _shm, os.getpid(), self._owner
+        )
+
+    @property
+    def descriptor(self) -> ShmDescriptor:
+        """Picklable handle for :meth:`attach` in another process."""
+        return ShmDescriptor(self._shm.name, self.shape, str(self.dtype))
+
+    @classmethod
+    def attach(cls, desc: ShmDescriptor) -> "SharedArray":
+        """Map an existing segment created elsewhere (never unlinks it).
+
+        With the fork start method (the only true-parallel configuration
+        this library targets) parent and children share one resource
+        tracker whose registry is a set, so the attach-side registration
+        is idempotent and the owner's eventual ``unlink`` performs the
+        single deregistration; no bpo-38119 workaround is required.
+        """
+        shm = shared_memory.SharedMemory(name=desc.name)
+        return cls(desc.shape, desc.dtype, _shm=shm, _owner=False)
+
+    def close(self) -> None:
+        """Drop this process's mapping (and the segment itself if owner)."""
+        # release the numpy view first; the buffer cannot be freed while
+        # an exported view is alive
+        self.array = None
+        self._finalizer()
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        role = "owner" if self._owner else "attached"
+        return f"SharedArray({self._shm.name}, shape={self.shape}, dtype={self.dtype}, {role})"

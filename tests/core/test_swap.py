@@ -244,3 +244,117 @@ class TestGraphSpaces:
             rates[space] = stats.acceptance_rate
         assert rates["simple"] <= min(rates.values()) + 1e-9
         assert rates["loopy_multigraph"] == 1.0
+
+
+class TestSpaceInvariantProperties:
+    """Seeded property-based invariants over every null-model space.
+
+    For arbitrary (possibly defective) inputs and every ``space`` mode:
+    the degree sequence is preserved exactly, forbidden defects are never
+    created, and multigraph inputs are monotonically simplified in the
+    spaces that reject their defects (Section VIII-A).
+    """
+
+    @staticmethod
+    def _random_multigraph(seed, n):
+        """A graph with planted self loops and duplicate edges."""
+        rng = np.random.default_rng(seed)
+        m = 2 * n
+        u = rng.integers(0, n, m)
+        v = rng.integers(0, n, m)
+        loops = np.arange(min(3, n))
+        dup_u, dup_v = u[: m // 8], v[: m // 8]
+        return EdgeList(
+            np.concatenate([u, dup_u, loops]),
+            np.concatenate([v, dup_v, loops]),
+            n,
+        )
+
+    @given(st.integers(0, 2**31), st.integers(4, 50))
+    @settings(max_examples=15, deadline=None)
+    @pytest.mark.parametrize(
+        "space", ["simple", "loopy", "multigraph", "loopy_multigraph"]
+    )
+    def test_degree_sequence_exact(self, space, seed, n):
+        g = self._random_multigraph(seed, n)
+        out = swap_edges(g, 3, ParallelConfig(threads=3, seed=seed), space=space)
+        np.testing.assert_array_equal(g.degree_sequence(), out.degree_sequence())
+
+    @given(st.integers(0, 2**31), st.integers(4, 50))
+    @settings(max_examples=15, deadline=None)
+    @pytest.mark.parametrize("space", ["simple", "loopy"])
+    def test_no_multi_edges_created(self, space, seed, n):
+        g = self._random_multigraph(seed, n)
+        out = swap_edges(g, 3, ParallelConfig(seed=seed), space=space)
+        assert out.count_multi_edges() <= g.count_multi_edges()
+
+    @given(st.integers(0, 2**31), st.integers(4, 50))
+    @settings(max_examples=15, deadline=None)
+    @pytest.mark.parametrize("space", ["simple", "multigraph"])
+    def test_no_self_loops_created(self, space, seed, n):
+        g = self._random_multigraph(seed, n)
+        out = swap_edges(g, 3, ParallelConfig(seed=seed), space=space)
+        assert out.count_self_loops() <= g.count_self_loops()
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_simple_inputs_stay_simple_everywhere_defects_forbidden(self, seed):
+        g = random_simple_graph(30, 80, seed)
+        out = swap_edges(g, 4, ParallelConfig(seed=seed), space="simple")
+        assert out.is_simple()
+
+    @given(st.integers(0, 2**31), st.integers(6, 40))
+    @settings(max_examples=10, deadline=None)
+    def test_multigraph_monotonically_simplified(self, seed, n):
+        """Per-iteration defect counts never increase in the simple space."""
+        g = self._random_multigraph(seed, n)
+        defects = []
+        swap_edges(
+            g, 6, ParallelConfig(seed=seed),
+            callback=lambda it, gr: defects.append(
+                gr.count_self_loops() + gr.count_multi_edges()
+            ),
+        )
+        start = g.count_self_loops() + g.count_multi_edges()
+        trace = [start] + defects
+        assert all(b <= a for a, b in zip(trace, trace[1:])), trace
+
+
+class TestSwapStatsAccumulation:
+    """SwapStats reused across swap_edges calls must accumulate deltas."""
+
+    def test_table_counters_accumulate_across_runs(self):
+        g = random_simple_graph(50, 150, 11)
+        stats = SwapStats()
+        swap_edges(g, 2, ParallelConfig(seed=1), stats=stats)
+        first_attempts = stats.table_attempts
+        first_failures = stats.table_failures
+        assert first_attempts > 0
+        swap_edges(g, 2, ParallelConfig(seed=2), stats=stats)
+        # regression: these were overwritten with `=` per iteration and
+        # silently dropped the first run's counts
+        assert stats.table_attempts > first_attempts
+        assert stats.table_failures >= first_failures
+        assert stats.iterations == 4
+
+    def test_single_run_totals_unchanged_by_delta_accumulation(self):
+        g = random_simple_graph(50, 150, 12)
+        a, b = SwapStats(), SwapStats()
+        swap_edges(g, 3, ParallelConfig(seed=3), stats=a)
+        swap_edges(g, 3, ParallelConfig(seed=3), stats=b)
+        assert a.table_attempts == b.table_attempts
+        assert a.table_failures == b.table_failures
+
+    def test_serial_chain_golden_pinned(self):
+        """Integer-packed key arithmetic reproduces the numpy packing
+        implementation bit-for-bit (fixed seed, fixed graph)."""
+        from repro.parallel.hashtable import pack_edges
+
+        n = 24
+        u = np.arange(n)
+        g = EdgeList(u, (u + 1) % n, n)
+        out = serial_swap_chain(g, 500, rng=1234)
+        keys = np.sort(pack_edges(out.u, out.v))
+        assert int(keys.sum()) == 807453852012
+        assert keys[0] == 3 and int(keys[-1]) == 81604378644
+        np.testing.assert_array_equal(g.degree_sequence(), out.degree_sequence())

@@ -51,3 +51,103 @@ class TestProcessChunkMap:
         cfg = ParallelConfig(threads=3, seed=0)
         chunks = process_chunk_map(_iota_kernel, 9, cfg, 0)
         assert [c[0] for c in chunks] == [0, 3, 6]
+
+
+class TestPersistentExecutor:
+    def test_executor_reused_across_calls(self):
+        from repro.parallel.runtime import get_executor
+
+        a = get_executor(2)
+        b = get_executor(2)
+        assert a is b
+
+    def test_shutdown_then_fresh_executor(self):
+        from repro.parallel.runtime import get_executor, shutdown_executors
+
+        a = get_executor(1)
+        shutdown_executors()
+        b = get_executor(1)
+        assert a is not b
+        assert b.submit(max, 1, 2).result() == 2
+
+    def test_process_chunk_map_uses_persistent_pool(self):
+        from repro.parallel.runtime import get_executor
+
+        cfg = ParallelConfig(threads=4, backend="process", seed=3)
+        process_chunk_map(_seeded_kernel, 40, cfg)
+        pool = get_executor(available_workers(4))
+        before = pool
+        process_chunk_map(_seeded_kernel, 40, cfg)
+        assert get_executor(available_workers(4)) is before
+
+
+class TestSwapWorkerPool:
+    def _make(self, workers=2, cap=2048):
+        from repro.parallel.hashtable import ShardedEdgeHashTable
+        from repro.parallel.mp_backend import SwapWorkerPool
+
+        table = ShardedEdgeHashTable(cap, workers_hint=workers)
+        return table, SwapWorkerPool(table, workers, capacity=cap)
+
+    def test_verdicts_match_flat_table(self):
+        from repro.parallel.hashtable import ConcurrentEdgeHashTable
+
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 300, 1000).astype(np.int64)
+        flat = ConcurrentEdgeHashTable(2048)
+        expect = flat.test_and_set(keys)
+        table, pool = self._make()
+        with table, pool:
+            np.testing.assert_array_equal(pool.test_and_set(keys), expect)
+            assert pool.test_and_set(keys).all()
+
+    def test_clear_resets_membership(self):
+        table, pool = self._make()
+        keys = np.arange(50, dtype=np.int64)
+        with table, pool:
+            assert not pool.test_and_set(keys).any()
+            pool.clear()
+            assert not pool.test_and_set(keys).any()
+
+    def test_empty_batch(self):
+        table, pool = self._make(workers=1)
+        with table, pool:
+            assert pool.test_and_set(np.empty(0, dtype=np.int64)).shape == (0,)
+
+    def test_capacity_overflow_raises(self):
+        table, pool = self._make(cap=64)
+        with table, pool:
+            with pytest.raises(ValueError):
+                pool.test_and_set(np.arange(100, dtype=np.int64))
+
+    def test_closed_pool_rejects_work(self):
+        table, pool = self._make(workers=1)
+        with table:
+            pool.close()
+            pool.close()  # idempotent
+            with pytest.raises(RuntimeError):
+                pool.test_and_set(np.asarray([1], dtype=np.int64))
+
+    def test_single_worker_owns_all_shards(self):
+        table, pool = self._make(workers=1)
+        keys = np.arange(200, dtype=np.int64)
+        with table, pool:
+            assert not pool.test_and_set(keys).any()
+            assert table.per_shard_stats["inserted"].sum() == 200
+
+    def test_dead_worker_raises_instead_of_hanging(self):
+        """A SIGKILLed worker must surface as RuntimeError, not a deadlock
+        on the completion barrier (regression: SimpleQueue.get blocked
+        forever when a worker died without replying)."""
+        import os
+        import signal
+
+        table, pool = self._make(workers=2)
+        with table:
+            keys = np.arange(100, dtype=np.int64)
+            pool.test_and_set(keys)  # workers proven alive
+            os.kill(pool._procs[0].pid, signal.SIGKILL)
+            pool._procs[0].join(timeout=5)
+            with pytest.raises(RuntimeError, match="died"):
+                pool.test_and_set(keys + 1000)
+            pool.close()  # idempotent after internal teardown

@@ -1,0 +1,64 @@
+"""Tests for the shared-memory ndarray plumbing."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import HAVE_SHM, SharedArray, ShmDescriptor
+
+pytestmark = pytest.mark.skipif(not HAVE_SHM, reason="no shared_memory support")
+
+
+def _child_fill(desc, value):
+    arr = SharedArray.attach(desc)
+    arr.array.fill(value)
+    arr.close()
+
+
+class TestSharedArray:
+    def test_create_and_view(self):
+        with SharedArray((4, 3), np.int64) as a:
+            a.array[:] = 7
+            assert a.array.sum() == 84
+            assert a.shape == (4, 3)
+
+    def test_descriptor_roundtrip_same_process(self):
+        with SharedArray((8,), np.float64) as a:
+            a.array[:] = np.arange(8)
+            b = SharedArray.attach(a.descriptor)
+            np.testing.assert_array_equal(b.array, np.arange(8))
+            b.array[0] = 99.0
+            assert a.array[0] == 99.0  # same physical pages
+            b.close()
+
+    def test_descriptor_is_picklable(self):
+        import pickle
+
+        with SharedArray((2,), np.int64) as a:
+            d2 = pickle.loads(pickle.dumps(a.descriptor))
+            assert d2 == a.descriptor
+            assert isinstance(d2, ShmDescriptor)
+            assert d2.nbytes == 16
+
+    def test_cross_process_write_visible(self):
+        with SharedArray((16,), np.int64) as a:
+            a.array.fill(0)
+            p = mp.get_context().Process(target=_child_fill, args=(a.descriptor, 5))
+            p.start()
+            p.join(timeout=30)
+            assert p.exitcode == 0
+            assert (a.array == 5).all()
+
+    def test_zero_size_array(self):
+        with SharedArray((0,), np.int64) as a:
+            assert a.array.size == 0
+
+    def test_attach_missing_segment_raises(self):
+        with pytest.raises(FileNotFoundError):
+            SharedArray.attach(ShmDescriptor("repro_no_such_segment", (1,), "int64"))
+
+    def test_close_is_idempotent(self):
+        a = SharedArray((4,), np.int64)
+        a.close()
+        a.close()

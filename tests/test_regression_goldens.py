@@ -84,6 +84,57 @@ class TestBaselineGoldens:
         assert 0.08 < frac < 0.30
 
 
+def _golden_chunk_kernel(lo, hi, seed):
+    """Module-level (picklable) kernel for the process_chunk_map golden."""
+    return np.random.default_rng(seed).integers(0, 1000, size=hi - lo)
+
+
+class TestExactBackendGoldens:
+    """Exact-output pins catching drift in backend refactors.
+
+    Unlike the banded goldens above, these assert bit-exact results: the
+    swap engine and the chunk mapper are deterministic for a fixed seed,
+    and every backend must reproduce the same bits.
+    """
+
+    @staticmethod
+    def _golden_graph():
+        from repro.graph.edgelist import EdgeList
+
+        rng = np.random.default_rng(42)
+        u = rng.integers(0, 60, 400)
+        v = rng.integers(0, 60, 400)
+        keep = u != v
+        return EdgeList(u[keep], v[keep], 60).simplify()
+
+    @pytest.mark.parametrize("backend", ["vectorized", "serial", "process"])
+    def test_swap_edges_exact_output(self, backend):
+        from repro.parallel.hashtable import pack_edges
+
+        g = self._golden_graph()
+        stats = SwapStats()
+        out = swap_edges(
+            g, 4, ParallelConfig(threads=4, backend=backend, seed=2020),
+            stats=stats,
+        )
+        keys = np.sort(pack_edges(out.u, out.v))
+        assert out.m == 358
+        assert int(keys.sum()) == 30988189054908
+        assert keys[:5].tolist() == [2, 5, 12, 18, 44]
+        assert stats.proposed == 716
+        assert stats.accepted == 354
+
+    @pytest.mark.parametrize("backend", ["vectorized", "process"])
+    def test_process_chunk_map_exact_output(self, backend):
+        from repro.parallel.mp_backend import process_chunk_map
+
+        cfg = ParallelConfig(threads=4, backend=backend, seed=5)
+        out = np.concatenate(process_chunk_map(_golden_chunk_kernel, 32, cfg))
+        assert int(out.sum()) == 17623
+        assert out[:8].tolist() == [336, 948, 126, 557, 782, 68, 315, 15]
+        assert out[-4:].tolist() == [296, 792, 175, 823]
+
+
 class TestUniformityGolden:
     def test_two_regular_six_vertices(self):
         from repro.graph.edgelist import EdgeList
