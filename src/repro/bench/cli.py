@@ -65,6 +65,7 @@ EXPERIMENTS = {
     "fig6": experiments.fig6,
     "sec8c": experiments.sec8c,
     "scaling": experiments.scaling,
+    "pipeline": experiments.pipeline,
     "lfr": experiments.lfr_experiment,
     "directed": experiments.directed_experiment,
     "corrections": experiments.corrections_experiment,
@@ -118,6 +119,15 @@ def main(argv: list[str] | None = None) -> int:
         if out_dir is not None:
             payload = text + ("\n" + chart + "\n" if chart else "")
             (out_dir / f"{name}.txt").write_text(payload)
+        if "bench" in result.series:
+            # machine-readable perf record (the repo's perf trajectory);
+            # written next to the tables, or to the CWD without --out
+            import json
+            from pathlib import Path
+
+            target = (out_dir or Path(".")) / f"BENCH_{name}.json"
+            target.write_text(json.dumps(result.series["bench"], indent=2) + "\n")
+            print(f"wrote {target}")
     return 0
 
 

@@ -20,6 +20,7 @@ from repro.bench.harness import (
     GENERATORS,
     Timer,
     generate_with_method,
+    pipeline_benchmark,
     uniform_reference,
 )
 from repro.core.generate import generate_graph
@@ -53,6 +54,7 @@ __all__ = [
     "fig6",
     "sec8c",
     "scaling",
+    "pipeline",
     "lfr_experiment",
     "directed_experiment",
     "corrections_experiment",
@@ -323,6 +325,22 @@ def fig6(
     result.add("AVERAGE", totals["probabilities"] / k, totals["edge_generation"] / k, totals["swap"] / k)
     result.series = {"totals": totals, "per_dataset": per_dataset}
     return result
+
+
+def pipeline(
+    dataset: str = "as20",
+    *,
+    swap_iterations: int = 1,
+    threads: int = 8,
+    seed: int = 5,
+    scale: float | None = None,
+) -> ExperimentResult:
+    """Fused vs phased process pipeline on the fig5 workload (BENCH_pipeline.json)."""
+    dist = SPECS[dataset].synthesize(scale)
+    return pipeline_benchmark(
+        dist, dataset=dataset, swap_iterations=swap_iterations,
+        threads=threads, seed=seed,
+    )
 
 
 def sec8c(

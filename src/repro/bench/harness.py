@@ -24,6 +24,7 @@ __all__ = [
     "generate_with_method",
     "uniform_reference",
     "compare_backends",
+    "pipeline_benchmark",
 ]
 
 
@@ -177,4 +178,95 @@ def compare_backends(
         result.series["speedup_process_vs_serial"] = (
             seconds["serial"] / seconds["process"]
         )
+    return result
+
+
+def pipeline_benchmark(
+    dist: DegreeDistribution,
+    *,
+    dataset: str = "synthetic",
+    swap_iterations: int = 1,
+    threads: int = 8,
+    seed: int = 5,
+    warmup: bool = True,
+) -> ExperimentResult:
+    """Fused vs phased end-to-end pipeline under ``backend="process"``.
+
+    Runs :func:`~repro.core.generate.generate_graph` twice with the same
+    seed — once through the fused arena+pool pipeline, once through the
+    phased composition — verifies the outputs are bitwise-identical, and
+    tabulates per-phase wall seconds and edge throughput.  ``series["bench"]``
+    carries the machine-readable payload the CLI dumps as
+    ``BENCH_pipeline.json`` (the repo's perf-trajectory record).
+    """
+    from repro.parallel.mp_backend import available_workers
+
+    config = ParallelConfig(threads=threads, backend="process", seed=seed)
+    if warmup:
+        # fork + import costs land on a throwaway run, not the measurement
+        generate_graph(dist, swap_iterations=min(swap_iterations, 1), config=config)
+        generate_graph(
+            dist, swap_iterations=min(swap_iterations, 1), config=config,
+            pipeline=False,
+        )
+
+    runs: dict[str, dict] = {}
+    outputs = {}
+    for mode, pipeline in (("fused", True), ("phased", False)):
+        with Timer() as t:
+            out, report = generate_graph(
+                dist, swap_iterations=swap_iterations, config=config,
+                pipeline=pipeline,
+            )
+        outputs[mode] = out
+        total = t.seconds
+        runs[mode] = {
+            "total_seconds": total,
+            "phase_seconds": dict(report.phase_seconds),
+            "edges": int(report.edges_generated),
+            "edges_per_s": report.edges_generated / total if total > 0 else 0.0,
+            "fused": bool(report.fused),
+        }
+    if not np.array_equal(outputs["fused"].u, outputs["phased"].u) or not np.array_equal(
+        outputs["fused"].v, outputs["phased"].v
+    ):
+        raise AssertionError("fused pipeline diverged from the phased composition")
+
+    result = ExperimentResult(
+        name="pipeline",
+        description=(
+            f"fused vs phased end-to-end pipeline, {dataset}, "
+            f"p={threads}, {swap_iterations} swap iteration(s)"
+        ),
+        columns=["mode", "seconds", "probabilities", "edge_generation", "swap",
+                 "edges", "edges_per_s"],
+    )
+    for mode in ("fused", "phased"):
+        r = runs[mode]
+        result.add(
+            mode, r["total_seconds"],
+            r["phase_seconds"].get("probabilities", 0.0),
+            r["phase_seconds"].get("edge_generation", 0.0),
+            r["phase_seconds"].get("swap", 0.0),
+            r["edges"], r["edges_per_s"],
+        )
+    speedup = (
+        runs["phased"]["total_seconds"] / runs["fused"]["total_seconds"]
+        if runs["fused"]["total_seconds"] > 0
+        else float("inf")
+    )
+    result.series["bench"] = {
+        "benchmark": "pipeline",
+        "dataset": dataset,
+        "backend": "process",
+        "threads": threads,
+        "workers": available_workers(threads),
+        "swap_iterations": swap_iterations,
+        "seed": seed,
+        "edges": runs["fused"]["edges"],
+        "fused": runs["fused"],
+        "phased": runs["phased"],
+        "speedup_fused_vs_phased": speedup,
+    }
+    result.series["speedup_fused_vs_phased"] = speedup
     return result

@@ -41,6 +41,8 @@ __all__ = [
     "triangle_unrank",
     "sample_spaces",
     "split_spaces",
+    "prepare_spaces",
+    "fused_chunk_sample",
 ]
 
 #: spaces whose expected selection count exceeds this are sampled with the
@@ -71,14 +73,27 @@ def skip_positions(p: float, end: int, rng) -> np.ndarray:
         expect = (end - int(x)) * p
         batch = int(expect + 4.0 * np.sqrt(expect + 1.0) + 16.0)
         r = rng.random(batch)
-        skips = np.floor(np.log(r) / log1mp).astype(np.int64)
+        with np.errstate(divide="ignore", over="ignore"):
+            raw = np.log(r) / log1mp
+        # Underflow guard: for p near the subnormal range log1p(-p) is a
+        # denormal, and a zero draw (r == 0.0, probability 2^-53) sends
+        # log(r) to -inf — either way the quotient lands beyond 2^63,
+        # where the int64 cast is undefined.  A skip of `end` already
+        # leaves the space (x >= -1, so x + end + 1 >= end), so clamping
+        # in the float domain is exact for every reachable skip.
+        np.minimum(raw, float(end), out=raw)
+        skips = np.floor(raw).astype(np.int64)
         pos = x + np.cumsum(skips + 1)
         inside = pos < end
         if inside.all():
             out.append(pos)
             x = pos[-1]
         else:
-            out.append(pos[inside])
+            # positions are monotone until the walk leaves the space, so
+            # the first escape cuts the batch (never index by `inside`
+            # directly: a clamped mega-skip can wrap the int64 cumsum
+            # back below `end` after the escape)
+            out.append(pos[: int(np.argmin(inside))])
             break
     return np.concatenate(out)
 
@@ -229,10 +244,18 @@ def _sample_spaces(
     if len(active):
         x = np.full(len(active), -1, dtype=np.int64)
         log1mp = np.log1p(-p[active])
+        end_f = end[active].astype(np.float64)
         live = np.arange(len(active))
         while len(live):
             r = rng.random(len(live))
-            skips = np.floor(np.log(r) / log1mp[live]).astype(np.int64)
+            with np.errstate(divide="ignore", over="ignore"):
+                raw = np.log(r) / log1mp[live]
+            # same underflow guard as skip_positions: a skip of `end`
+            # already leaves its space, and clamping before the cast
+            # keeps the int64 conversion defined for r == 0.0 and
+            # denormal log1p(-p)
+            np.minimum(raw, end_f[live], out=raw)
+            skips = np.floor(raw).astype(np.int64)
             x[live] = x[live] + skips + 1
             total_skips += len(live)
             inside = x[live] < end[active[live]]
@@ -294,6 +317,66 @@ def _chunk_kernel(
     return np.stack([u, v], axis=1)
 
 
+def prepare_spaces(
+    P: np.ndarray,
+    dist: DegreeDistribution,
+    config: ParallelConfig,
+    max_space_size: int | None = None,
+) -> dict[str, np.ndarray]:
+    """The exact space table :func:`generate_edges` samples.
+
+    Shared by the phased path and the fused pipeline so both walk
+    identical (space, probability, extent) descriptors: for the process
+    backend, spaces are split so no single space dominates one worker.
+    """
+    table = _space_table(np.asarray(P, dtype=np.float64), dist)
+    if max_space_size is None and config.backend == "process":
+        # balance chunks: no single space should dominate one worker
+        total = int(table["end"].sum())
+        if total:
+            max_space_size = max(total // (4 * config.threads), 1024)
+    if max_space_size is not None:
+        table = split_spaces(table, max_space_size)
+    return table
+
+
+def fused_chunk_sample(
+    lo: int,
+    hi: int,
+    seed: int,
+    ctx: dict,
+    n_shards: int,
+    n_owners: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused-pipeline chunk kernel: edges plus owner-grouped packed keys.
+
+    Runs :func:`_chunk_kernel` over spaces ``[lo, hi)`` of the prepared
+    table in ``ctx`` and additionally packs each edge into its canonical
+    64-bit key and groups the keys by owning pipeline worker
+    (``shard % n_owners``, with the table geometry precomputed via
+    :func:`~repro.parallel.hashtable.effective_shard_count` — the table
+    itself does not exist yet while generation runs).  The grouping sort
+    is stable, so each owner's keys stay in edge order; concatenating an
+    owner's groups chunk-by-chunk later reproduces the per-shard key
+    sequences of a whole-batch registration exactly.
+
+    Returns ``(pairs, keys_by_owner, owner_counts)`` where ``pairs`` is
+    the ``(k, 2)`` edge array in kernel order.
+    """
+    from repro.parallel.hashtable import pack_edges, shard_of_keys
+
+    pairs = _chunk_kernel(
+        lo, hi, seed,
+        ctx["i"], ctx["j"], ctx["p"], ctx["end"], ctx["base"],
+        ctx["offsets"], ctx["counts"],
+    )
+    keys = pack_edges(pairs[:, 0], pairs[:, 1])
+    owner = shard_of_keys(keys, n_shards) % n_owners
+    order = np.argsort(owner, kind="stable")
+    owner_counts = np.bincount(owner, minlength=n_owners).astype(np.int64)
+    return pairs, keys[order], owner_counts
+
+
 def generate_edges(
     P: np.ndarray,
     dist: DegreeDistribution,
@@ -326,14 +409,7 @@ def generate_edges(
         A simple graph (each vertex pair considered at most once).
     """
     config = config or ParallelConfig()
-    table = _space_table(np.asarray(P, dtype=np.float64), dist)
-    if max_space_size is None and config.backend == "process":
-        # balance chunks: no single space should dominate one worker
-        total = int(table["end"].sum())
-        if total:
-            max_space_size = max(total // (4 * config.threads), 1024)
-    if max_space_size is not None:
-        table = split_spaces(table, max_space_size)
+    table = prepare_spaces(P, dist, config, max_space_size)
     offsets = dist.class_offsets(config)
     counts = dist.counts
     n_spaces = len(table["p"])

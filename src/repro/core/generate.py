@@ -6,6 +6,21 @@
 2. ``E  ← GenerateEdges(P, {D, N})``        (Section IV-B)
 3. ``E' ← SwapEdges(E)``                    (Section III-A)
 
+Two compositions exist:
+
+- **phased** (default for the vectorized/serial backends): each phase is
+  a cold call; ``swap_edges`` re-ingests the edge list into a fresh hash
+  table and spins up its own worker pool.
+- **fused** (default for ``backend="process"``): a
+  :class:`~repro.parallel.shm.PipelineArena` holds every cross-phase
+  shared-memory buffer, one
+  :class:`~repro.parallel.mp_backend.PipelineWorkerPool` survives from
+  GenerateEdges through all swap iterations, and generation workers
+  insert edges into the sharded hash table themselves — the swap phase
+  starts with a fully populated table (its iteration-0 build step is
+  deleted).  The fused output is bitwise-identical to the phased path
+  for a fixed seed; see ``docs/parallel-model.md``.
+
 :func:`generate_graph` returns the final edge list together with a
 :class:`GenerationReport` carrying per-phase wall times (Figure 6), the
 work/span cost model (scaling studies), and the swap statistics
@@ -19,13 +34,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.edge_skip import generate_edges
+from repro.core.edge_skip import fused_chunk_sample, generate_edges, prepare_spaces
 from repro.core.probabilities import ProbabilityResult, generate_probabilities
-from repro.core.swap import SwapStats, swap_edges
+from repro.core.swap import SwapStats, fused_swap_loop, swap_edges
 from repro.graph.degree import DegreeDistribution
 from repro.graph.edgelist import EdgeList
 from repro.parallel.cost_model import CostModel
-from repro.parallel.runtime import ParallelConfig
+from repro.parallel.hashtable import ShardedEdgeHashTable, effective_shard_count
+from repro.parallel.mp_backend import PipelineWorkerPool, available_workers
+from repro.parallel.rng import spawn_generators
+from repro.parallel.runtime import ParallelConfig, chunk_bounds
+from repro.parallel.shm import PipelineArena
 
 __all__ = ["GenerationReport", "generate_graph"]
 
@@ -41,10 +60,22 @@ class GenerationReport:
     #: wall seconds per phase: probabilities / edge_generation / swap
     phase_seconds: dict = field(default_factory=dict)
     edges_generated: int = 0
+    #: true end-to-end wall time measured around the whole run; set by the
+    #: fused pipeline, where phase boundaries are timestamped around the
+    #: dispatch batches and summing them would double-count overlap
+    wall_seconds: float | None = None
+    #: whether the fused process pipeline executed this run
+    fused: bool = False
 
     @property
     def total_seconds(self) -> float:
-        """End-to-end wall time."""
+        """End-to-end wall time.
+
+        The fused pipeline records the true wall measurement; the phased
+        composition's phases are disjoint, so their sum is the wall time.
+        """
+        if self.wall_seconds is not None:
+            return self.wall_seconds
         return sum(self.phase_seconds.values())
 
 
@@ -56,6 +87,7 @@ def generate_graph(
     probabilities: ProbabilityResult | None = None,
     probability_kwargs: dict | None = None,
     callback=None,
+    pipeline: bool | None = None,
 ) -> tuple[EdgeList, GenerationReport]:
     """Generate a simple uniformly random graph from ``{D, N}``.
 
@@ -75,6 +107,13 @@ def generate_graph(
     callback:
         Forwarded to :func:`~repro.core.swap.swap_edges` (per-iteration
         snapshots for mixing studies).
+    pipeline:
+        Fused-pipeline selection for ``backend="process"``: ``None``
+        (default) runs the fused pipeline automatically, ``False``
+        forces the phased composition (the differential tests compare
+        the two), ``True`` requests fused explicitly.  Other backends
+        always run phased; the outputs are bitwise-identical either
+        way.
 
     Returns
     -------
@@ -83,6 +122,7 @@ def generate_graph(
     config = config or ParallelConfig()
     cost = CostModel()
     phase_seconds: dict[str, float] = {}
+    wall0 = time.perf_counter()
 
     t0 = time.perf_counter()
     if probabilities is None:
@@ -92,6 +132,25 @@ def generate_graph(
     phase_seconds["probabilities"] = time.perf_counter() - t0
     if cost.phases and cost.phases[-1].name == "probabilities":
         cost.phases[-1].seconds = phase_seconds["probabilities"]
+
+    want_fused = pipeline if pipeline is not None else True
+    if want_fused and config.backend == "process":
+        fused = _generate_fused(
+            dist, swap_iterations, config, probabilities, callback,
+            cost, phase_seconds,
+        )
+        if fused is not None:
+            out, swap_stats, edges_m = fused
+            return out, GenerationReport(
+                dist=dist,
+                probabilities=probabilities,
+                swap_stats=swap_stats,
+                cost=cost,
+                phase_seconds=phase_seconds,
+                edges_generated=edges_m,
+                wall_seconds=time.perf_counter() - wall0,
+                fused=True,
+            )
 
     t0 = time.perf_counter()
     edges = generate_edges(probabilities.P, dist, config, cost=cost)
@@ -120,3 +179,169 @@ def generate_graph(
         edges_generated=edges.m,
     )
     return out, report
+
+
+def _generate_fused(
+    dist: DegreeDistribution,
+    swap_iterations: int,
+    config: ParallelConfig,
+    probabilities: ProbabilityResult,
+    callback,
+    cost: CostModel,
+    phase_seconds: dict,
+) -> tuple[EdgeList, SwapStats, int] | None:
+    """Fused process-parallel composition of GenerateEdges + SwapEdges.
+
+    One :class:`PipelineArena` owns every cross-phase shared-memory
+    buffer; one :class:`PipelineWorkerPool` spawn serves generation,
+    edge registration, and all swap iterations.  Generation workers
+    write edges into the arena *and* group their packed keys by owning
+    worker, so the swap phase's table is populated by a zero-rebuild
+    handoff (each worker inserts its own shards' keys in global edge
+    order, reproducing the phased registration's per-shard batches bit
+    for bit).
+
+    Reproducibility is pinned to ``config.threads`` (chunk seeds, chunk
+    bounds, shard geometry); ``config.processes`` only chooses how many
+    OS processes execute the plan.  Returns ``None`` when a degenerate
+    input (``<= 1`` sample space, zero edges) takes a different inline
+    code path in the phased composition — the caller then falls back so
+    outputs stay bitwise-identical.
+    """
+    t0 = time.perf_counter()
+    spaces = prepare_spaces(probabilities.P, dist, config)
+    n_spaces = len(spaces["p"])
+    if n_spaces <= 1:
+        # the phased process path samples <= 1 space inline with the
+        # config generator's stream; keep that exact stream by falling back
+        return None
+    offsets = dist.class_offsets(config)
+    p_threads = config.threads
+    bounds = chunk_bounds(n_spaces, p_threads)
+    seeds = [int(g.integers(0, 2**63)) for g in spawn_generators(config.seed, p_threads)]
+    jobs = [
+        (int(bounds[k]), int(bounds[k + 1]), seeds[k])
+        for k in range(p_threads)
+        if bounds[k + 1] > bounds[k]
+    ]
+    n_owners = config.processes or available_workers(config.threads)
+    n_shards = effective_shard_count(config.shards or None, config.threads)
+
+    # per-chunk buffer capacity: expectation plus six-sigma Poisson slack
+    expect = [
+        float((spaces["p"][lo:hi] * spaces["end"][lo:hi]).sum()) for lo, hi, _ in jobs
+    ]
+    caps = np.asarray(
+        [int(e + 6.0 * np.sqrt(e + 1.0) + 64.0) for e in expect], dtype=np.int64
+    )
+    chunk_off = np.zeros(len(jobs) + 1, dtype=np.int64)
+    np.cumsum(caps, out=chunk_off[1:])
+
+    arena = PipelineArena()
+    pool = None
+    table = None
+    try:
+        gen_edges_buf = arena.allocate("gen_edges", (int(chunk_off[-1]), 2), np.int64)
+        gen_keys_buf = arena.allocate("gen_keys", (int(chunk_off[-1]),), np.int64)
+        gen_counts_buf = arena.allocate(
+            "gen_counts", (len(jobs), n_owners), np.int64, fill=0
+        )
+        gen_static = dict(spaces)
+        gen_static.update(
+            offsets=offsets, counts=dist.counts, n_shards=n_shards, n_owners=n_owners
+        )
+        pool = PipelineWorkerPool(n_owners, gen_static=gen_static)
+        replies = pool.generate(
+            [
+                (
+                    "gen", c, lo, hi, seed,
+                    gen_edges_buf.descriptor, gen_keys_buf.descriptor,
+                    gen_counts_buf.descriptor, int(chunk_off[c]), int(caps[c]),
+                )
+                for c, (lo, hi, seed) in enumerate(jobs)
+            ]
+        )
+        chunk_k = np.zeros(len(jobs), dtype=np.int64)
+        fixes: dict[int, tuple] = {}
+        for tag, c, k in replies:
+            chunk_k[c] = k
+            if tag == "overflow":
+                fixes[c] = ()
+        for c in fixes:
+            # the six-sigma slack overflowed (vanishingly rare): the kernel
+            # is deterministic in its seed, so regenerate in the parent and
+            # stage the keys in a dedicated arena buffer
+            lo, hi, seed = jobs[c]
+            pairs_c, keys_c, owner_counts = fused_chunk_sample(
+                lo, hi, seed, gen_static, n_shards, n_owners
+            )
+            xbuf = arena.allocate(f"fix_keys_{c}", (len(keys_c),), np.int64)
+            xbuf.array[:] = keys_c
+            gen_counts_buf.array[c] = owner_counts
+            fixes[c] = (pairs_c, xbuf)
+        # assemble the final edge arrays in chunk order — exactly the
+        # phased process path's concatenation order
+        parts = []
+        for c in range(len(jobs)):
+            if c in fixes:
+                parts.append(fixes[c][0])
+            else:
+                off = int(chunk_off[c])
+                parts.append(gen_edges_buf.array[off : off + int(chunk_k[c])])
+        pairs = np.concatenate(parts, axis=0)
+        u = pairs[:, 0].copy()
+        v = pairs[:, 1].copy()
+        m = len(u)
+        if m == 0:
+            return None  # the phased path handles the empty graph's bookkeeping
+        cost.add(
+            "edge_generation",
+            work=float(m + n_spaces),
+            depth=float(dist.n_classes + np.log2(max(dist.n, 2))),
+        )
+        phase_seconds["edge_generation"] = time.perf_counter() - t0
+        if cost.phases and cost.phases[-1].name == "edge_generation":
+            cost.phases[-1].seconds = phase_seconds["edge_generation"]
+
+        t0 = time.perf_counter()
+        swap_stats = SwapStats()
+        if swap_iterations > 0:
+            # the table is sized from the now-known edge count with the
+            # same geometry the phased path would use (workers_hint is the
+            # logical thread count, so per-shard layouts match bit for bit)
+            table = ShardedEdgeHashTable(
+                2 * m + 16,
+                n_shards=config.shards or None,
+                workers_hint=config.threads,
+                arena=arena,
+            )
+            tas_keys = arena.allocate("tas_keys", (m,), np.int64)
+            tas_flags = arena.allocate("tas_flags", (m,), np.uint8)
+            pool.bind(table, tas_keys, tas_flags)
+            # zero-rebuild handoff: worker w inserts its own key groups,
+            # concatenated in chunk order == global edge order, so the
+            # swap loop starts with the table registered for iteration 0
+            spans: list[list] = [[] for _ in range(n_owners)]
+            for c in range(len(jobs)):
+                if c in fixes:
+                    desc, off = fixes[c][1].descriptor, 0
+                else:
+                    desc, off = gen_keys_buf.descriptor, int(chunk_off[c])
+                for w in range(n_owners):
+                    kw = int(gen_counts_buf.array[c, w])
+                    if kw:
+                        spans[w].append((desc, off, off + kw))
+                    off += kw
+            pool.insert(spans)
+            u, v = fused_swap_loop(
+                u, v, swap_iterations, config, table, pool.test_and_set,
+                n_vertices=dist.n, stats=swap_stats, cost=cost, callback=callback,
+            )
+        phase_seconds["swap"] = time.perf_counter() - t0
+        return EdgeList(u, v, dist.n), swap_stats, m
+    finally:
+        if pool is not None:
+            pool.close()
+        if table is not None:
+            table.close()
+        arena.close()

@@ -155,6 +155,15 @@ def generate_probabilities(
     alloc_scale = 1.0 if allocation == "full" else 0.5
     E = np.zeros((k, k), dtype=np.float64)
 
+    # The sweep is inherently sequential over classes (each row's clamps
+    # read the free stubs and capacities the earlier rows consumed), but
+    # the per-row arithmetic runs through preallocated buffers: no numpy
+    # temporaries inside the O(|D|) loop, ~3x fewer allocator round
+    # trips per row.  Operation order matches the expression form
+    # bitwise: goldens pin P exactly.
+    naive = np.empty(k, dtype=np.float64)
+    e = np.empty(k, dtype=np.float64)
+    scratch = np.empty(k, dtype=np.float64)
     for _ in range(passes):
         for i in cls_order:
             if fe[i] <= 0:
@@ -162,17 +171,19 @@ def generate_probabilities(
             total = fe.sum()
             if total <= fe[i] and k > 1:
                 # only class i has stubs left: it can only attach internally
-                naive = np.zeros(k)
+                naive.fill(0.0)
             else:
-                naive = fe[i] * fe / max(total, 1e-300)
+                np.multiply(fe, fe[i], out=naive)
+                naive /= max(total, 1e-300)
             naive[i] = fe[i] * fe[i] / (2.0 * max(total, 1e-300))
 
-            e = naive * alloc_scale
+            np.multiply(naive, alloc_scale, out=e)
             if clamp_pairs:
-                remaining_cap = np.maximum(cap[i] - E[i], 0.0)
-                e = np.minimum(e, remaining_cap)
+                np.subtract(cap[i], E[i], out=scratch)
+                np.maximum(scratch, 0.0, out=scratch)
+                np.minimum(e, scratch, out=e)
             if clamp_stubs:
-                e = np.minimum(e, fe)
+                np.minimum(e, fe, out=e)
                 e[i] = min(e[i], fe[i] / 2.0)
 
             E[i] += e

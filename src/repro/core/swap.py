@@ -69,7 +69,7 @@ from repro.parallel.permutation import (
 from repro.parallel.rng import generator_from_seed
 from repro.parallel.runtime import ParallelConfig
 
-__all__ = ["SwapStats", "swap_edges", "serial_swap_chain"]
+__all__ = ["SwapStats", "swap_edges", "fused_swap_loop", "serial_swap_chain"]
 
 
 @dataclass
@@ -211,16 +211,31 @@ def swap_edges(
 def _swap_loop(
     u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
     check_duplicates, check_loops, stats, cost, callback, n_vertices,
+    preregistered: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """The per-iteration body of :func:`swap_edges` (backend-agnostic)."""
+    """The per-iteration body of :func:`swap_edges` (backend-agnostic).
+
+    With ``preregistered=True`` the first iteration's clear + edge
+    registration is skipped: the fused pipeline's generation phase has
+    already inserted every edge (all keys fresh — edge-skip spaces are
+    disjoint), so the table state entering iteration 0 is identical to
+    what registration would have produced.  The contention baseline for
+    that iteration is the pre-insert state (zero on a fresh table), so
+    the insert-phase attempts land in iteration 0's stats delta exactly
+    as phased registration would.
+    """
     for it in range(iterations):
         t0 = time.perf_counter()
-        table.clear()
-        attempts_before = table.stats.attempts
-        failures_before = table.stats.failures
-        # Phase 1: register all current edges (duplicate-checked spaces).
-        if check_duplicates:
-            tas(pack_edges(u, v))
+        if it == 0 and preregistered:
+            attempts_before = 0
+            failures_before = 0
+        else:
+            table.clear()
+            attempts_before = table.stats.attempts
+            failures_before = table.stats.failures
+            # Phase 1: register all current edges (duplicate-checked spaces).
+            if check_duplicates:
+                tas(pack_edges(u, v))
 
         # Phase 2: parallel permutation of the edge list.
         perm_stats = PermutationStats()
@@ -304,6 +319,40 @@ def _swap_loop(
             callback(it, EdgeList(u.copy(), v.copy(), n_vertices))
 
     return u, v
+
+
+def fused_swap_loop(
+    u: np.ndarray,
+    v: np.ndarray,
+    iterations: int,
+    config: ParallelConfig,
+    table,
+    tas,
+    *,
+    n_vertices: int,
+    stats: SwapStats | None = None,
+    cost: CostModel | None = None,
+    callback=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Swap-phase entry for the fused pipeline (simple space only).
+
+    The caller owns the table and the TestAndSet engine (the pipeline
+    pool, already populated with every generated edge), so iteration 0
+    skips the clear + registration step.  The RNG stream, permutation
+    seeds, and proposal protocol are exactly :func:`swap_edges`'s, which
+    makes the output bitwise-identical to the phased composition.
+    ``u``/``v`` are mutated in place and returned.
+    """
+    if iterations < 1:
+        raise ValueError("fused_swap_loop needs >= 1 iteration")
+    rng = config.generator()
+    m = len(u)
+    n_pairs = m // 2
+    swapped = np.zeros(m, dtype=bool)
+    return _swap_loop(
+        u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
+        True, True, stats, cost, callback, n_vertices, preregistered=True,
+    )
 
 
 def _pack_key(a: int, b: int) -> int:

@@ -38,6 +38,8 @@ __all__ = [
     "SHARD_STAT_COLUMNS",
     "pack_edges",
     "unpack_edges",
+    "effective_shard_count",
+    "shard_of_keys",
     "EMPTY_KEY",
 ]
 
@@ -288,6 +290,31 @@ def _next_pow2(x: int) -> int:
     return n
 
 
+def effective_shard_count(n_shards: int | None, workers_hint: int) -> int:
+    """The shard count :class:`ShardedEdgeHashTable` will actually use.
+
+    The fused pipeline routes generated keys to their owning workers
+    *before* the table exists (its capacity is only known once the edge
+    count is), so shard geometry must be computable up front.  This
+    mirrors the constructor's sizing rule exactly.
+    """
+    if n_shards is None or n_shards == 0:
+        n_shards = max(8, 4 * max(1, int(workers_hint)))
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return _next_pow2(int(n_shards))
+
+
+def shard_of_keys(keys: np.ndarray, n_shards: int) -> np.ndarray:
+    """Owning shard per key for a table of ``n_shards`` (a power of two).
+
+    Table-free twin of :meth:`ShardedEdgeHashTable.shard_of`, usable
+    while the table itself has not been built yet.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    return (_splitmix64(keys) & np.uint64(n_shards - 1)).astype(np.int64)
+
+
 class ShardedEdgeHashTable:
     """Shard-partitioned TestAndSet table living in shared memory.
 
@@ -318,6 +345,7 @@ class ShardedEdgeHashTable:
         n_shards: int | None = None,
         probing: str = "linear",
         workers_hint: int = 1,
+        arena=None,
         _attach: tuple | None = None,
     ) -> None:
         if _attach is not None:
@@ -334,11 +362,7 @@ class ShardedEdgeHashTable:
                     f"probing must be 'linear' or 'quadratic', got {probing!r}"
                 )
             self.probing = probing
-            if n_shards is None:
-                n_shards = max(8, 4 * max(1, int(workers_hint)))
-            if n_shards < 1:
-                raise ValueError("n_shards must be >= 1")
-            n_shards = _next_pow2(int(n_shards))
+            n_shards = effective_shard_count(n_shards, workers_hint)
             # 4x headroom absorbs the binomial imbalance of hashing keys
             # across shards; each shard keeps the <=50% load factor of the
             # flat table with high probability.
@@ -352,6 +376,12 @@ class ShardedEdgeHashTable:
             )
             self._shm_stats.array.fill(0)
             self._owner = True
+            if arena is not None:
+                # pipeline-arena lifecycle: the arena's close() also
+                # releases the table's segments (SharedArray.close is
+                # idempotent, so table.close() remains safe either way)
+                arena.adopt("table_slots", self._shm_slots)
+                arena.adopt("table_stats", self._shm_stats)
         self._slots = self._shm_slots.array
         self._stats = self._shm_stats.array
         self.n_shards = int(self._slots.shape[0])

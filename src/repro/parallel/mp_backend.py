@@ -12,21 +12,28 @@ fans work out to worker processes.  Two mechanisms live here:
   :func:`repro.parallel.runtime.get_executor` — one fork per worker per
   interpreter, not per call.
 
-- :class:`SwapWorkerPool` — the swap engine's runtime.  Workers are
-  dedicated processes holding an attachment to a
-  :class:`~repro.parallel.hashtable.ShardedEdgeHashTable` whose slot
-  arrays live in ``multiprocessing.shared_memory``; the parent routes
-  each key batch to the worker owning its shard (``shard % n_workers``)
-  through a shared key buffer, workers perform ``TestAndSet`` against
-  their shards and write verdict flags to a shared flags buffer, and the
-  parent reassembles per-key results.  Each shard has exactly one writer
-  per phase, so no cross-process lock is ever taken, and the verdicts —
-  plain set membership — are identical to the vectorized engine's.  The
-  pool is created once per :func:`~repro.core.swap.swap_edges` call,
+- :class:`PipelineWorkerPool` — the fused pipeline's runtime.  Workers
+  are dedicated processes that serve every phase of Algorithm IV.1 from
+  one spawn: ``gen`` messages run the edge-skip chunk kernel and write
+  edges plus owner-grouped packed keys straight into shared-memory
+  buffers, a ``bind`` message attaches the sharded hash table (created
+  only once the edge count is known), ``insert`` messages register the
+  generated keys shard-by-shard with zero parent-side rebuild, and
+  ``tas`` messages serve the swap iterations' TestAndSet batches.  The
+  parent routes each key batch to the worker owning its shard
+  (``shard % n_workers``) through a shared key buffer; workers write
+  verdict flags to a shared flags buffer and the parent reassembles
+  per-key results.  Each shard has exactly one writer per phase, so no
+  cross-process lock is ever taken, and the verdicts — plain set
+  membership — are identical to the vectorized engine's.
+
+- :class:`SwapWorkerPool` — the swap engine's runtime, a
+  :class:`PipelineWorkerPool` whose table and exchange buffers are bound
+  at spawn.  Created once per :func:`~repro.core.swap.swap_edges` call,
   reused across the whole iterations loop, and torn down via context
   manager (with an ``atexit`` safety net).
 
-Both backends are functionally identical to the vectorized engine (same
+All backends are functionally identical to the vectorized engine (same
 chunk partitioning, same per-chunk RNG streams, same TestAndSet
 verdicts) and are exercised by the differential test harness; on
 multi-core hosts they provide genuine parallel speedup.
@@ -48,7 +55,12 @@ from repro.parallel.rng import spawn_generators
 from repro.parallel.runtime import ParallelConfig, chunk_bounds, get_executor
 from repro.parallel.shm import SharedArray
 
-__all__ = ["process_chunk_map", "available_workers", "SwapWorkerPool"]
+__all__ = [
+    "process_chunk_map",
+    "available_workers",
+    "PipelineWorkerPool",
+    "SwapWorkerPool",
+]
 
 
 def available_workers(requested: int) -> int:
@@ -99,70 +111,150 @@ def _mp_context():
         return mp.get_context()
 
 
-def _swap_worker(
-    worker_id: int,
-    table_desc,
-    keys_desc,
-    flags_desc,
-    task_queue,
-    done_queue,
-) -> None:
-    """Worker loop: attach to the shared table, serve TestAndSet batches.
+def _attach_cached(cache: dict, desc) -> SharedArray:
+    """Attach a descriptor once per worker; reuse the mapping afterwards."""
+    arr = cache.get(desc.name)
+    if arr is None:
+        arr = SharedArray.attach(desc)
+        cache[desc.name] = arr
+    return arr
 
-    Messages are ``("tas", lo, hi)`` — run TestAndSet over
-    ``keys[lo:hi]`` (all shards in that range are owned by this worker)
-    and write verdicts to ``flags[lo:hi]`` — or ``("stop",)``.
+
+def _worker_gen(msg, gen_static, cache):
+    """Serve one ``gen`` message: sample a space chunk into shared memory.
+
+    Writes the chunk's edges (in kernel order, so the parent's
+    chunk-order concatenation reproduces the phased edge list bit for
+    bit) and its packed keys grouped by owning worker, plus the
+    per-owner group sizes.  Replies ``("overflow", chunk, k)`` without
+    writing when the chunk produced more edges than its buffer slice
+    holds (the parent regenerates deterministically from the same seed).
     """
-    table = ShardedEdgeHashTable.attach(table_desc)
-    keys_buf = SharedArray.attach(keys_desc)
-    flags_buf = SharedArray.attach(flags_desc)
+    from repro.core.edge_skip import fused_chunk_sample
+
+    _, chunk, lo, hi, seed, edges_desc, keys_desc, counts_desc, offset, cap = msg
+    pairs, keys_sorted, owner_counts = fused_chunk_sample(
+        lo, hi, seed, gen_static, gen_static["n_shards"], gen_static["n_owners"]
+    )
+    k = len(keys_sorted)
+    if k > cap:
+        return ("overflow", chunk, k)
+    _attach_cached(cache, edges_desc).array[offset : offset + k] = pairs
+    _attach_cached(cache, keys_desc).array[offset : offset + k] = keys_sorted
+    _attach_cached(cache, counts_desc).array[chunk] = owner_counts
+    return ("ok", chunk, k)
+
+
+def _worker_insert(msg, table, cache):
+    """Serve one ``insert`` message: register key spans into the table.
+
+    Spans arrive in chunk order; concatenating them yields this worker's
+    keys in global edge order, so the single ``test_and_set`` call runs
+    exactly the per-shard batch protocol the phased path's iteration-0
+    registration would.
+    """
+    spans = msg[1]
+    parts = [_attach_cached(cache, desc).array[lo:hi] for desc, lo, hi in spans]
+    if parts:
+        keys = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        table.test_and_set(keys)
+
+
+def _pipeline_worker(worker_id, bind0, gen_static, task_queue, done_queue) -> None:
+    """Worker loop serving all pipeline phases from one process.
+
+    Messages:
+
+    - ``("gen", chunk, lo, hi, seed, edges_desc, keys_desc, counts_desc,
+      offset, cap)`` — run the edge-skip kernel over spaces ``[lo, hi)``
+      and write results into shared memory (requires ``gen_static``);
+    - ``("bind", table_desc, keys_desc, flags_desc)`` — attach the
+      sharded table and the TestAndSet exchange buffers;
+    - ``("insert", [(desc, lo, hi), ...])`` — register generated keys
+      into the bound table (this worker's shards only);
+    - ``("tas", lo, hi)`` — TestAndSet over ``keys[lo:hi]`` (all shards
+      in that range are owned by this worker), verdicts to
+      ``flags[lo:hi]``;
+    - ``("stop",)`` — exit.
+
+    Replies are ``(worker_id, error_or_None, payload_or_None)``.
+    """
+    cache: dict[str, SharedArray] = {}
+    table = None
+    keys_buf = flags_buf = None
+
+    def do_bind(table_desc, keys_desc, flags_desc):
+        nonlocal table, keys_buf, flags_buf
+        if table is not None:
+            table.close()
+        table = ShardedEdgeHashTable.attach(table_desc)
+        keys_buf = _attach_cached(cache, keys_desc)
+        flags_buf = _attach_cached(cache, flags_desc)
+
+    if bind0 is not None:
+        do_bind(*bind0)
     try:
         while True:
             msg = task_queue.get()
             if msg is None or msg[0] == "stop":
                 break
             try:
-                _, lo, hi = msg
-                present = table.test_and_set(keys_buf.array[lo:hi])
-                flags_buf.array[lo:hi] = present
-                done_queue.put((worker_id, None))
+                op = msg[0]
+                reply = None
+                if op == "tas":
+                    _, lo, hi = msg
+                    present = table.test_and_set(keys_buf.array[lo:hi])
+                    flags_buf.array[lo:hi] = present
+                elif op == "gen":
+                    reply = _worker_gen(msg, gen_static, cache)
+                elif op == "insert":
+                    _worker_insert(msg, table, cache)
+                elif op == "bind":
+                    do_bind(msg[1], msg[2], msg[3])
+                else:
+                    raise ValueError(f"unknown pipeline message {op!r}")
+                done_queue.put((worker_id, None, reply))
             except BaseException:
-                done_queue.put((worker_id, traceback.format_exc()))
+                done_queue.put((worker_id, traceback.format_exc(), None))
     finally:
-        table.close()
-        keys_buf.close()
-        flags_buf.close()
+        if table is not None:
+            table.close()
+        for arr in cache.values():
+            arr.close()
 
 
-class SwapWorkerPool:
-    """Persistent worker processes driving a shared-memory sharded table.
+class PipelineWorkerPool:
+    """Persistent worker processes serving every phase of the pipeline.
 
-    Created once per swap run and reused for every ``TestAndSet`` batch
-    of every iteration (edge registration, g-proposals, h-proposals).
-    Key routing: shard ``s`` belongs to worker ``s % n_workers``, giving
+    One spawn per :func:`~repro.core.generate.generate_graph` call: the
+    same processes run GenerateEdges chunk kernels, the zero-rebuild key
+    registration, and every swap iteration's TestAndSet batches.  Key
+    routing: shard ``s`` belongs to worker ``s % n_workers``, giving
     each shard a single writer per phase — the conflict semantics of the
-    paper's lock-free table without any cross-process locking.
+    paper's lock-free table without any cross-process locking.  Shard
+    geometry is fixed by the *logical* thread count, so results are
+    identical for any worker-process count.
 
     Parameters
     ----------
-    table:
-        The (owner-side) sharded table workers will attach to.
-    workers:
-        Worker process count — the paper's thread count *p*, deliberately
-        **not** clamped to the host core count so conflict behavior is
-        reproducible regardless of hardware (oversubscription only costs
-        time).
-    capacity:
-        Maximum keys per batch (the edge count ``m`` for a swap run);
-        sizes the shared key/flag exchange buffers.
+    processes:
+        Worker process count.  The fused pipeline clamps to the host
+        core count by default (``ParallelConfig.processes`` overrides);
+        reproducibility is unaffected because all partitioning is pinned
+        to ``ParallelConfig.threads``.
+    gen_static:
+        Optional dict of per-spawn generation context (space table
+        arrays, class offsets/counts, ``n_shards``, ``n_owners``)
+        inherited by workers at fork; required for ``gen`` messages.
     """
 
-    def __init__(self, table: ShardedEdgeHashTable, workers: int, *, capacity: int) -> None:
-        self._table = table
-        self.n_workers = max(1, int(workers))
-        capacity = max(1, int(capacity))
-        self._keys_buf = SharedArray((capacity,), np.int64)
-        self._flags_buf = SharedArray((capacity,), np.uint8)
+    def __init__(self, processes: int, *, gen_static: dict | None = None,
+                 _bind0: tuple | None = None) -> None:
+        self.n_workers = max(1, int(processes))
+        self._table: ShardedEdgeHashTable | None = None
+        self._keys_buf: SharedArray | None = None
+        self._flags_buf: SharedArray | None = None
+        self._own_buffers = False
         ctx = _mp_context()
         self._task_queues = [ctx.SimpleQueue() for _ in range(self.n_workers)]
         # a full Queue (not SimpleQueue) so the completion barrier can poll
@@ -170,15 +262,8 @@ class SwapWorkerPool:
         self._done_queue = ctx.Queue()
         self._procs = [
             ctx.Process(
-                target=_swap_worker,
-                args=(
-                    w,
-                    table.descriptor(),
-                    self._keys_buf.descriptor,
-                    self._flags_buf.descriptor,
-                    self._task_queues[w],
-                    self._done_queue,
-                ),
+                target=_pipeline_worker,
+                args=(w, _bind0, gen_static, self._task_queues[w], self._done_queue),
                 daemon=True,
             )
             for w in range(self.n_workers)
@@ -188,7 +273,62 @@ class SwapWorkerPool:
         self._closed = False
         self._atexit = atexit.register(self.close)
 
-    # -- operations ------------------------------------------------------
+    # -- dispatch plumbing ------------------------------------------------
+
+    def _submit(self, jobs: list[tuple[int, tuple]]) -> list:
+        """Send ``(worker, message)`` jobs and barrier on their replies."""
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+        for w, msg in jobs:
+            self._task_queues[w].put(msg)
+        return self._barrier(len(jobs))
+
+    def _barrier(self, active: int) -> list:
+        replies = []
+        errors = []
+        done = 0
+        while done < active:
+            try:
+                worker_id, err, reply = self._done_queue.get(timeout=1.0)
+            except queue.Empty:
+                dead = [w for w, p in enumerate(self._procs) if not p.is_alive()]
+                if dead:
+                    self.close()
+                    raise RuntimeError(
+                        f"pipeline worker(s) {dead} died without completing a "
+                        "batch (killed or crashed); pool torn down"
+                    )
+                continue
+            done += 1
+            if err is not None:
+                errors.append((worker_id, err))
+            else:
+                replies.append(reply)
+        if errors:
+            detail = "\n".join(f"[worker {w}]\n{e}" for w, e in errors)
+            raise RuntimeError(f"pipeline worker failure:\n{detail}")
+        return replies
+
+    # -- phase operations -------------------------------------------------
+
+    def generate(self, msgs: list[tuple]) -> list:
+        """Fan ``gen`` messages over the fleet; returns the replies."""
+        return self._submit([(k % self.n_workers, m) for k, m in enumerate(msgs)])
+
+    def bind(self, table: ShardedEdgeHashTable, keys_buf: SharedArray,
+             flags_buf: SharedArray) -> None:
+        """Attach the (just-created) table and exchange buffers everywhere."""
+        self._table = table
+        self._keys_buf = keys_buf
+        self._flags_buf = flags_buf
+        msg = ("bind", table.descriptor(), keys_buf.descriptor, flags_buf.descriptor)
+        self._submit([(w, msg) for w in range(self.n_workers)])
+
+    def insert(self, spans_per_worker: list[list]) -> None:
+        """Register generated keys: worker ``w`` inserts its own spans."""
+        self._submit(
+            [(w, ("insert", spans)) for w, spans in enumerate(spans_per_worker) if spans]
+        )
 
     def test_and_set(self, keys: np.ndarray) -> np.ndarray:
         """TestAndSet ``keys`` across the worker fleet; per-key verdicts.
@@ -200,7 +340,9 @@ class SwapWorkerPool:
         and gathers the verdict flags back into input order.
         """
         if self._closed:
-            raise RuntimeError("SwapWorkerPool is closed")
+            raise RuntimeError(f"{type(self).__name__} is closed")
+        if self._table is None:
+            raise RuntimeError("no table bound; call bind() first")
         keys = np.asarray(keys, dtype=np.int64)
         n = len(keys)
         present = np.zeros(n, dtype=bool)
@@ -216,32 +358,12 @@ class SwapWorkerPool:
         counts = np.bincount(owner, minlength=self.n_workers)
         bounds = np.zeros(self.n_workers + 1, dtype=np.int64)
         np.cumsum(counts, out=bounds[1:])
-        active = 0
+        jobs = []
         for w in range(self.n_workers):
             lo, hi = int(bounds[w]), int(bounds[w + 1])
             if hi > lo:
-                self._task_queues[w].put(("tas", lo, hi))
-                active += 1
-        errors = []
-        done = 0
-        while done < active:
-            try:
-                worker_id, err = self._done_queue.get(timeout=1.0)
-            except queue.Empty:
-                dead = [w for w, p in enumerate(self._procs) if not p.is_alive()]
-                if dead:
-                    self.close()
-                    raise RuntimeError(
-                        f"swap worker(s) {dead} died without completing a batch "
-                        "(killed or crashed); pool torn down"
-                    )
-                continue
-            done += 1
-            if err is not None:
-                errors.append((worker_id, err))
-        if errors:
-            detail = "\n".join(f"[worker {w}]\n{e}" for w, e in errors)
-            raise RuntimeError(f"swap worker failure:\n{detail}")
+                jobs.append((w, ("tas", lo, hi)))
+        self._submit(jobs)
         present[order] = self._flags_buf.array[:n].astype(bool)
         return present
 
@@ -257,7 +379,7 @@ class SwapWorkerPool:
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
-        """Stop workers, join them, release the exchange buffers."""
+        """Stop workers, join them, release owned exchange buffers."""
         if self._closed:
             return
         self._closed = True
@@ -275,11 +397,47 @@ class SwapWorkerPool:
         for q in self._task_queues:
             q.close()
         self._done_queue.close()
-        self._keys_buf.close()
-        self._flags_buf.close()
+        if self._own_buffers:
+            self._keys_buf.close()
+            self._flags_buf.close()
 
-    def __enter__(self) -> "SwapWorkerPool":
+    def __enter__(self) -> "PipelineWorkerPool":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class SwapWorkerPool(PipelineWorkerPool):
+    """A :class:`PipelineWorkerPool` dedicated to one swap run.
+
+    The table and exchange buffers are bound at spawn (the standalone
+    :func:`~repro.core.swap.swap_edges` entry knows the edge count up
+    front), and the pool owns the buffers.
+
+    Parameters
+    ----------
+    table:
+        The (owner-side) sharded table workers will attach to.
+    workers:
+        Worker process count — the paper's thread count *p*, deliberately
+        **not** clamped to the host core count so conflict behavior is
+        reproducible regardless of hardware (oversubscription only costs
+        time).
+    capacity:
+        Maximum keys per batch (the edge count ``m`` for a swap run);
+        sizes the shared key/flag exchange buffers.
+    """
+
+    def __init__(self, table: ShardedEdgeHashTable, workers: int, *, capacity: int) -> None:
+        capacity = max(1, int(capacity))
+        keys_buf = SharedArray((capacity,), np.int64)
+        flags_buf = SharedArray((capacity,), np.uint8)
+        super().__init__(
+            workers,
+            _bind0=(table.descriptor(), keys_buf.descriptor, flags_buf.descriptor),
+        )
+        self._table = table
+        self._keys_buf = keys_buf
+        self._flags_buf = flags_buf
+        self._own_buffers = True

@@ -62,12 +62,20 @@ class ParallelConfig:
         (rounded up to a power of two).  ``0`` (default) auto-sizes to
         ``max(8, 4 * threads)`` so shard ownership spreads evenly across
         the worker processes.
+    processes:
+        Physical worker-process count for the fused process pipeline.
+        ``0`` (default) auto-clamps ``threads`` to the host core count.
+        Distinct from ``threads``: the logical thread count pins down
+        the reproducible partitioning (chunk seeds, shard geometry),
+        while ``processes`` only decides how many OS processes execute
+        it — results are identical for any value.
     """
 
     threads: int = 16
     backend: str = "vectorized"
     seed: object = None
     shards: int = 0
+    processes: int = 0
 
     def __post_init__(self) -> None:
         if self.threads < 1:
@@ -78,6 +86,8 @@ class ParallelConfig:
             )
         if self.shards < 0:
             raise ValueError(f"shards must be >= 0, got {self.shards}")
+        if self.processes < 0:
+            raise ValueError(f"processes must be >= 0, got {self.processes}")
 
     def generator(self) -> np.random.Generator:
         """A single generator derived from :attr:`seed`."""

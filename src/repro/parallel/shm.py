@@ -37,7 +37,7 @@ except ImportError:  # pragma: no cover
     shared_memory = None
     HAVE_SHM = False
 
-__all__ = ["ShmDescriptor", "SharedArray", "HAVE_SHM"]
+__all__ = ["ShmDescriptor", "SharedArray", "PipelineArena", "HAVE_SHM"]
 
 
 @dataclass(frozen=True)
@@ -126,3 +126,98 @@ class SharedArray:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         role = "owner" if self._owner else "attached"
         return f"SharedArray({self._shm.name}, shape={self.shape}, dtype={self.dtype}, {role})"
+
+
+class PipelineArena:
+    """A named collection of shared-memory arrays with one lifecycle.
+
+    The fused generation pipeline allocates every cross-phase buffer —
+    per-chunk edge outputs, the packed-key staging area, the TestAndSet
+    exchange buffers, and (via the ``arena`` parameter of
+    :class:`~repro.parallel.hashtable.ShardedEdgeHashTable`) the hash
+    table's slot and counter segments — from a single arena, so the
+    whole pipeline's shared state is created once, shipped to workers as
+    one descriptor map, and torn down by one :meth:`close` call no
+    matter which phase an error surfaces in.
+
+    Arrays may be added after workers have attached (:meth:`allocate`
+    returns the owning :class:`SharedArray`; its descriptor can be
+    shipped in a later message), so buffers whose size is only known
+    mid-pipeline — the edge count ``m`` is discovered by the generation
+    phase — still live in the arena.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, SharedArray] = {}
+        self._owner = True
+        self._closed = False
+
+    # -- allocation / access ---------------------------------------------
+
+    def allocate(self, name: str, shape, dtype, *, fill=None) -> SharedArray:
+        """Create a new named segment owned by this arena."""
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        if not self._owner:
+            raise RuntimeError("cannot allocate from an attached arena")
+        if name in self._arrays:
+            raise ValueError(f"arena already holds an array named {name!r}")
+        arr = SharedArray(shape, dtype)
+        if fill is not None:
+            arr.array.fill(fill)
+        self._arrays[name] = arr
+        return arr
+
+    def adopt(self, name: str, arr: SharedArray) -> SharedArray:
+        """Track an externally created :class:`SharedArray` for teardown."""
+        if name in self._arrays:
+            raise ValueError(f"arena already holds an array named {name!r}")
+        self._arrays[name] = arr
+        return arr
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """The numpy view of a named segment."""
+        return self._arrays[name].array
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def names(self) -> list[str]:
+        """Names of all tracked arrays, in allocation order."""
+        return list(self._arrays)
+
+    # -- cross-process plumbing ------------------------------------------
+
+    def descriptors(self) -> dict[str, ShmDescriptor]:
+        """Picklable ``name -> descriptor`` map for :meth:`attach`."""
+        return {name: arr.descriptor for name, arr in self._arrays.items()}
+
+    @classmethod
+    def attach(cls, descriptors: dict) -> "PipelineArena":
+        """Map segments created by another process (never unlinks them)."""
+        arena = cls()
+        arena._owner = False
+        for name, desc in descriptors.items():
+            arena._arrays[name] = SharedArray.attach(desc)
+        return arena
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every mapping (the owner also unlinks).  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for arr in self._arrays.values():
+            arr.close()
+        self._arrays.clear()
+
+    def __enter__(self) -> "PipelineArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        role = "owner" if self._owner else "attached"
+        return f"PipelineArena({len(self._arrays)} arrays, {role})"

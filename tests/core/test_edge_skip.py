@@ -59,6 +59,55 @@ class TestSkipPositions:
         chi2 = ((hits - hits.mean()) ** 2 / hits.mean()).sum()
         assert sps.chi2.sf(chi2, end - 1) > 1e-4
 
+    # -- extreme probabilities: the log(1-p) underflow guard ---------------
+    #
+    # For p in the denormal range, log1p(-p) underflows toward -0.0-ish
+    # denormals and log(r)/log1p(-p) lands beyond 2**63, where the int64
+    # cast is undefined (it used to wrap to INT64_MIN and emit *negative*
+    # "selected" positions).  The guard clamps skips to `end` in the float
+    # domain, which is exact for every reachable skip.
+
+    @pytest.mark.parametrize("p", [1e-320, 5e-324, 1e-100, 1e-19])
+    def test_subnormal_p_no_bogus_selections(self, p):
+        for seed in range(20):
+            pos = skip_positions(p, 10_000, seed)
+            assert (pos >= 0).all() and (pos < 10_000).all()
+            assert (np.diff(pos) > 0).all()
+
+    @given(st.integers(0, 2**32), st.integers(1, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_positions_always_in_range(self, seed, end):
+        """Every position is valid for every p, including extremes."""
+        for p in (1e-320, 1e-12, 0.5, 1.0 - 1e-12, 1.0):
+            pos = skip_positions(p, end, seed)
+            assert (pos >= 0).all() and (pos < end).all()
+            assert (np.diff(pos) > 0).all()
+
+    def test_tiny_p_expected_count(self):
+        """E[#selected] = p*end still holds under the clamp for tiny p."""
+        p, end, runs = 2e-5, 100_000, 300
+        rng = np.random.default_rng(3)
+        counts = [len(skip_positions(p, end, rng)) for _ in range(runs)]
+        expect = p * end  # = 2 per run
+        se = np.sqrt(expect / runs)
+        assert abs(np.mean(counts) - expect) < 6 * se
+
+    def test_subnormal_p_selects_nothing_in_practice(self):
+        """p = 1e-320 over a modest space: selection probability ~ 1e-316."""
+        for seed in range(50):
+            assert len(skip_positions(1e-320, 10_000, seed)) == 0
+
+    def test_p_near_one_selects_almost_all(self):
+        p, end = 1.0 - 1e-12, 5_000
+        counts = [len(skip_positions(p, end, s)) for s in range(30)]
+        assert min(counts) >= end - 1  # at most one miss plausible, ~never
+        assert max(counts) <= end
+
+    def test_p_one_fast_path_is_exact(self):
+        """p >= 1 bypasses the skip walk entirely: exhaustive selection."""
+        for end in (1, 2, 17, 1000):
+            np.testing.assert_array_equal(skip_positions(1.0, end, 0), np.arange(end))
+
 
 class TestTriangleUnrank:
     def test_first_positions(self):

@@ -135,6 +135,13 @@ class TestSwapWorkerPool:
             assert not pool.test_and_set(keys).any()
             assert table.per_shard_stats["inserted"].sum() == 200
 
+    def test_pipeline_messages_without_table_rejected(self):
+        from repro.parallel.mp_backend import PipelineWorkerPool
+
+        with PipelineWorkerPool(1) as pool:
+            with pytest.raises(RuntimeError, match="bind"):
+                pool.test_and_set(np.asarray([1], dtype=np.int64))
+
     def test_dead_worker_raises_instead_of_hanging(self):
         """A SIGKILLed worker must surface as RuntimeError, not a deadlock
         on the completion barrier (regression: SimpleQueue.get blocked
@@ -151,3 +158,125 @@ class TestSwapWorkerPool:
             with pytest.raises(RuntimeError, match="died"):
                 pool.test_and_set(keys + 1000)
             pool.close()  # idempotent after internal teardown
+
+
+class TestPipelineWorkerPool:
+    """The fused pipeline's cross-phase pool: gen → bind → insert → tas."""
+
+    def _gen_static(self, dist, n_owners, n_shards, threads=4):
+        from repro.core.edge_skip import prepare_spaces
+
+        P = np.full((dist.n_classes, dist.n_classes), 0.4)
+        cfg = ParallelConfig(threads=threads, backend="process", seed=0)
+        static = dict(prepare_spaces(P, dist, cfg))
+        static.update(
+            offsets=dist.class_offsets(),
+            counts=dist.counts,
+            n_shards=n_shards,
+            n_owners=n_owners,
+        )
+        return static
+
+    def test_gen_writes_kernel_output_to_shared_memory(self, small_dist):
+        from repro.core.edge_skip import fused_chunk_sample
+        from repro.parallel.mp_backend import PipelineWorkerPool
+        from repro.parallel.shm import PipelineArena
+
+        static = self._gen_static(small_dist, n_owners=2, n_shards=16)
+        n_spaces = len(static["p"])
+        with PipelineArena() as arena, PipelineWorkerPool(2, gen_static=static) as pool:
+            edges = arena.allocate("e", (4 * n_spaces + 64, 2), np.int64)
+            keys = arena.allocate("k", (4 * n_spaces + 64,), np.int64)
+            counts = arena.allocate("c", (1, 2), np.int64, fill=0)
+            msg = ("gen", 0, 0, n_spaces, 42, edges.descriptor, keys.descriptor,
+                   counts.descriptor, 0, len(edges.array))
+            (reply,) = pool.generate([msg])
+            tag, chunk, k = reply
+            assert tag == "ok" and chunk == 0
+            # the worker's output equals the in-process kernel bit for bit
+            pairs, keys_sorted, owner_counts = fused_chunk_sample(
+                0, n_spaces, 42, static, 16, 2
+            )
+            assert k == len(pairs)
+            np.testing.assert_array_equal(edges.array[:k], pairs)
+            np.testing.assert_array_equal(keys.array[:k], keys_sorted)
+            np.testing.assert_array_equal(counts.array[0], owner_counts)
+
+    def test_gen_overflow_reply_leaves_buffers_untouched(self, small_dist):
+        from repro.parallel.mp_backend import PipelineWorkerPool
+        from repro.parallel.shm import PipelineArena
+
+        static = self._gen_static(small_dist, n_owners=1, n_shards=8)
+        n_spaces = len(static["p"])
+        with PipelineArena() as arena, PipelineWorkerPool(1, gen_static=static) as pool:
+            edges = arena.allocate("e", (1, 2), np.int64, fill=-1)
+            keys = arena.allocate("k", (1,), np.int64, fill=-1)
+            counts = arena.allocate("c", (1, 1), np.int64, fill=0)
+            msg = ("gen", 0, 0, n_spaces, 42, edges.descriptor, keys.descriptor,
+                   counts.descriptor, 0, 1)  # capacity 1: guaranteed overflow
+            (reply,) = pool.generate([msg])
+            tag, chunk, k = reply
+            assert tag == "overflow" and k > 1
+            assert (edges.array == -1).all()
+            assert (keys.array == -1).all()
+
+    def test_insert_matches_oneshot_registration(self):
+        """Worker-side span insertion reproduces the per-shard batch
+        protocol (and hence stats) of a single parent-side registration."""
+        from repro.parallel.hashtable import ShardedEdgeHashTable
+        from repro.parallel.mp_backend import PipelineWorkerPool
+        from repro.parallel.shm import SharedArray
+
+        rng = np.random.default_rng(13)
+        keys = rng.integers(0, 500, 1200).astype(np.int64)
+
+        ref = ShardedEdgeHashTable(4096, workers_hint=4)
+        ref.test_and_set(keys)
+        ref_stats = ref.per_shard_stats
+
+        table = ShardedEdgeHashTable(4096, workers_hint=4)
+        n_workers = 2
+        with PipelineWorkerPool(n_workers) as pool, \
+                SharedArray((len(keys),), np.int64) as keys_buf, \
+                SharedArray((len(keys),), np.uint8) as flags_buf, \
+                SharedArray((len(keys),), np.int64) as staged:
+            owner = table.shard_of(keys) % n_workers
+            order = np.argsort(owner, kind="stable")
+            staged.array[:] = keys[order]
+            bounds = np.zeros(n_workers + 1, dtype=np.int64)
+            np.cumsum(np.bincount(owner, minlength=n_workers), out=bounds[1:])
+            spans = [
+                [(staged.descriptor, int(bounds[w]), int(bounds[w + 1]))]
+                for w in range(n_workers)
+            ]
+            pool.bind(table, keys_buf, flags_buf)
+            pool.insert(spans)
+            for col in ref_stats:
+                np.testing.assert_array_equal(
+                    table.per_shard_stats[col], ref_stats[col],
+                    err_msg=f"per-shard {col} diverged",
+                )
+            # every key is now present
+            assert pool.test_and_set(keys).all()
+        ref.close()
+        table.close()
+
+    def test_rebind_switches_tables(self):
+        from repro.parallel.hashtable import ShardedEdgeHashTable
+        from repro.parallel.mp_backend import PipelineWorkerPool
+        from repro.parallel.shm import SharedArray
+
+        keys = np.arange(100, dtype=np.int64)
+        t1 = ShardedEdgeHashTable(1024, workers_hint=2)
+        t2 = ShardedEdgeHashTable(1024, workers_hint=2)
+        with PipelineWorkerPool(2) as pool, \
+                SharedArray((128,), np.int64) as kb, \
+                SharedArray((128,), np.uint8) as fb:
+            pool.bind(t1, kb, fb)
+            assert not pool.test_and_set(keys).any()
+            pool.bind(t2, kb, fb)
+            # the fresh table has no memory of the first one's keys
+            assert not pool.test_and_set(keys).any()
+            assert pool.test_and_set(keys).all()
+        t1.close()
+        t2.close()

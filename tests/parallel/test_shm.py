@@ -5,7 +5,7 @@ import multiprocessing as mp
 import numpy as np
 import pytest
 
-from repro.parallel.shm import HAVE_SHM, SharedArray, ShmDescriptor
+from repro.parallel.shm import HAVE_SHM, PipelineArena, SharedArray, ShmDescriptor
 
 pytestmark = pytest.mark.skipif(not HAVE_SHM, reason="no shared_memory support")
 
@@ -62,3 +62,93 @@ class TestSharedArray:
         a = SharedArray((4,), np.int64)
         a.close()
         a.close()
+
+
+def _child_sum(descriptors, result_desc):
+    arena = PipelineArena.attach(descriptors)
+    out = SharedArray.attach(result_desc)
+    out.array[0] = arena["a"].sum() + arena["b"].sum()
+    arena.close()
+    out.close()
+
+
+class TestPipelineArena:
+    def test_allocate_and_index(self):
+        with PipelineArena() as arena:
+            arena.allocate("edges", (10, 2), np.int64, fill=3)
+            assert "edges" in arena
+            assert arena["edges"].shape == (10, 2)
+            assert arena["edges"].sum() == 60
+            assert arena.names() == ["edges"]
+
+    def test_duplicate_name_rejected(self):
+        with PipelineArena() as arena:
+            arena.allocate("x", (1,), np.int64)
+            with pytest.raises(ValueError, match="already holds"):
+                arena.allocate("x", (1,), np.int64)
+
+    def test_allocate_after_close_rejected(self):
+        arena = PipelineArena()
+        arena.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            arena.allocate("x", (1,), np.int64)
+
+    def test_close_idempotent(self):
+        arena = PipelineArena()
+        arena.allocate("x", (4,), np.int64)
+        arena.close()
+        arena.close()
+
+    def test_adopt_tracks_external_array(self):
+        arr = SharedArray((5,), np.float64)
+        with PipelineArena() as arena:
+            arena.adopt("ext", arr)
+            assert "ext" in arena
+            arena["ext"][:] = 1.5
+            assert arr.array.sum() == 7.5
+        # arena close released the adopted segment too
+        with pytest.raises(FileNotFoundError):
+            SharedArray.attach(arr.descriptor)
+
+    def test_descriptor_map_and_cross_process_attach(self):
+        with PipelineArena() as arena:
+            arena.allocate("a", (8,), np.int64)
+            arena["a"][:] = np.arange(8)
+            arena.allocate("b", (3,), np.int64, fill=10)
+            with SharedArray((1,), np.int64) as result:
+                result.array[0] = 0
+                p = mp.get_context().Process(
+                    target=_child_sum,
+                    args=(arena.descriptors(), result.descriptor),
+                )
+                p.start()
+                p.join(timeout=30)
+                assert p.exitcode == 0
+                assert result.array[0] == 28 + 30
+
+    def test_attached_arena_cannot_allocate(self):
+        with PipelineArena() as owner:
+            owner.allocate("a", (2,), np.int64)
+            attached = PipelineArena.attach(owner.descriptors())
+            with pytest.raises(RuntimeError, match="attached"):
+                attached.allocate("b", (2,), np.int64)
+            attached.close()
+
+    def test_attached_close_does_not_unlink(self):
+        with PipelineArena() as owner:
+            arr = owner.allocate("a", (2,), np.int64)
+            attached = PipelineArena.attach(owner.descriptors())
+            attached.close()
+            # the owner's segment survives the attachment's close
+            again = SharedArray.attach(arr.descriptor)
+            again.close()
+
+    def test_late_allocation_visible_to_new_attachments(self):
+        """Buffers sized mid-pipeline (e.g. the edge count) still live in
+        the arena and can be shipped by a later descriptor."""
+        with PipelineArena() as arena:
+            arena.allocate("early", (2,), np.int64)
+            late = arena.allocate("late", (4,), np.int64, fill=9)
+            other = SharedArray.attach(late.descriptor)
+            assert other.array.sum() == 36
+            other.close()
