@@ -89,6 +89,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # collect shared-memory segments stranded by earlier crashed runs
+    # before the process-backend experiments allocate fresh ones
+    try:
+        from repro.parallel.shm import reap_stale
+
+        reaped = reap_stale()
+        if reaped:
+            print(
+                f"reaped {len(reaped)} stale shared-memory segment(s)",
+                file=sys.stderr,
+            )
+    except Exception:
+        pass
+
     if args.list:
         for name, fn in EXPERIMENTS.items():
             doc = (fn.__doc__ or "").strip().splitlines()[0]

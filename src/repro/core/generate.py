@@ -30,7 +30,7 @@ work/span cost model (scaling studies), and the swap statistics
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -66,6 +66,15 @@ class GenerationReport:
     wall_seconds: float | None = None
     #: whether the fused process pipeline executed this run
     fused: bool = False
+    #: the fused pipeline fell back down the degradation ladder mid-run
+    #: (worker-restart budget exhausted, or shared memory unavailable):
+    #: phased process generation, with the swap phase degrading further to
+    #: the vectorized engine if its own pool also fails.  Every rung is
+    #: bitwise-identical — the output is unaffected, only the execution path
+    degraded: bool = False
+    #: FaultEvent records: every supervised worker recovery, plus the
+    #: final degradation trigger when :attr:`degraded` is set
+    faults: list = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -134,13 +143,40 @@ def generate_graph(
         cost.phases[-1].seconds = phase_seconds["probabilities"]
 
     want_fused = pipeline if pipeline is not None else True
+    degraded = False
+    run_faults: list = []
     if want_fused and config.backend == "process":
-        fused = _generate_fused(
-            dist, swap_iterations, config, probabilities, callback,
-            cost, phase_seconds,
-        )
+        from repro.parallel import faultinject, shm
+        from repro.parallel.mp_backend import PoolFaultError
+
+        faultinject.arm_from(config)
+        fused = None
+        if shm.HAVE_SHM:
+            # attempt-local accumulators: a mid-pipeline fault must not
+            # leave half an attempt's phases behind in the caller's cost
+            # model before the vectorized fallback re-runs from scratch
+            attempt_cost = CostModel()
+            attempt_phases: dict[str, float] = {}
+            try:
+                fused = _generate_fused(
+                    dist, swap_iterations, config, probabilities, callback,
+                    attempt_cost, attempt_phases,
+                )
+            except PoolFaultError as exc:
+                degraded = True
+                run_faults = list(exc.faults)
+            except OSError:
+                degraded = True
+                run_faults = [faultinject.FaultEvent(-1, "shm")]
+            finally:
+                faultinject.disarm_shm_faults()
+        else:
+            degraded = True
+            run_faults = [faultinject.FaultEvent(-1, "unavailable")]
         if fused is not None:
-            out, swap_stats, edges_m = fused
+            out, swap_stats, edges_m, pool_faults = fused
+            cost.merge(attempt_cost)
+            phase_seconds.update(attempt_phases)
             return out, GenerationReport(
                 dist=dist,
                 probabilities=probabilities,
@@ -150,7 +186,16 @@ def generate_graph(
                 edges_generated=edges_m,
                 wall_seconds=time.perf_counter() - wall0,
                 fused=True,
+                degraded=swap_stats.degraded,
+                faults=pool_faults + list(swap_stats.faults),
             )
+        # degradation ladder, step 1: fall through to the *phased*
+        # composition below with the process config intact.  Phased
+        # generation runs on the independent ProcessPoolExecutor path
+        # (no shared memory, pure chunk kernels replayed inline if that
+        # pool breaks too), which reproduces the fused edge stream bit
+        # for bit; swap_edges owns step 2 of the ladder (supervised
+        # process pool -> vectorized engine, also bitwise-identical).
 
     t0 = time.perf_counter()
     edges = generate_edges(probabilities.P, dist, config, cost=cost)
@@ -177,6 +222,8 @@ def generate_graph(
         cost=cost,
         phase_seconds=phase_seconds,
         edges_generated=edges.m,
+        degraded=degraded or swap_stats.degraded,
+        faults=run_faults + list(swap_stats.faults),
     )
     return out, report
 
@@ -189,7 +236,7 @@ def _generate_fused(
     callback,
     cost: CostModel,
     phase_seconds: dict,
-) -> tuple[EdgeList, SwapStats, int] | None:
+) -> tuple[EdgeList, SwapStats, int, list] | None:
     """Fused process-parallel composition of GenerateEdges + SwapEdges.
 
     One :class:`PipelineArena` owns every cross-phase shared-memory
@@ -250,7 +297,7 @@ def _generate_fused(
         gen_static.update(
             offsets=offsets, counts=dist.counts, n_shards=n_shards, n_owners=n_owners
         )
-        pool = PipelineWorkerPool(n_owners, gen_static=gen_static)
+        pool = PipelineWorkerPool(n_owners, gen_static=gen_static, config=config)
         replies = pool.generate(
             [
                 (
@@ -338,7 +385,7 @@ def _generate_fused(
                 n_vertices=dist.n, stats=swap_stats, cost=cost, callback=callback,
             )
         phase_seconds["swap"] = time.perf_counter() - t0
-        return EdgeList(u, v, dist.n), swap_stats, m
+        return EdgeList(u, v, dist.n), swap_stats, m, list(pool.faults)
     finally:
         if pool is not None:
             pool.close()

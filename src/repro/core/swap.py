@@ -50,12 +50,14 @@ stationary distribution provably uniform.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.graph.edgelist import EdgeList
+from repro.parallel import faultinject
 from repro.parallel.cost_model import CostModel
+from repro.parallel.faultinject import FaultEvent
 from repro.parallel.hashtable import (
     ConcurrentEdgeHashTable,
     ShardedEdgeHashTable,
@@ -91,6 +93,36 @@ class SwapStats:
     table_failures: int = 0
     table_attempts: int = 0
     permutation_rounds: int = 0
+    #: the process backend exhausted its fault budget (or shared memory
+    #: was unavailable) and the run fell back to the vectorized backend.
+    #: Excluded from equality: degradation changes *how* a result was
+    #: computed, never the result itself (backends are bitwise-identical)
+    degraded: bool = field(default=False, compare=False)
+    #: FaultEvent records — every supervised recovery plus the final
+    #: degradation trigger, if any (also excluded from equality)
+    faults: list = field(default_factory=list, compare=False)
+
+    def merge_from(self, other: "SwapStats") -> None:
+        """Accumulate ``other`` into this instance (attempt-local merge).
+
+        The process backend runs each attempt against a scratch
+        ``SwapStats`` and merges it on success, so a mid-run fault never
+        leaves half an attempt's counts behind in the caller's object.
+        """
+        self.iterations += other.iterations
+        self.proposed += other.proposed
+        self.accepted += other.accepted
+        self.rejected_duplicate += other.rejected_duplicate
+        self.rejected_self_loop += other.rejected_self_loop
+        self.accepted_per_iteration.extend(other.accepted_per_iteration)
+        self.swapped_fraction_per_iteration.extend(
+            other.swapped_fraction_per_iteration
+        )
+        self.table_failures += other.table_failures
+        self.table_attempts += other.table_attempts
+        self.permutation_rounds += other.permutation_rounds
+        self.degraded = self.degraded or other.degraded
+        self.faults.extend(other.faults)
 
     @property
     def acceptance_rate(self) -> float:
@@ -159,12 +191,7 @@ def swap_edges(
         raise ValueError(f"space must be one of {spaces}, got {space!r}")
     check_duplicates = space in ("simple", "loopy")
     check_loops = space in ("simple", "multigraph")
-    rng = config.generator()
-    u = graph.u.copy()
-    v = graph.v.copy()
-    m = len(u)
-    n_pairs = m // 2
-    swapped = np.zeros(m, dtype=bool)
+    m = len(graph.u)
 
     # Backend dispatch for the TestAndSet engine.  All three backends
     # produce identical verdicts (set membership with first-occurrence
@@ -173,39 +200,115 @@ def swap_edges(
     # - "vectorized" (default): the flat table's batched round protocol;
     # - "serial": the flat table's one-key-at-a-time reference;
     # - "process": the sharded shared-memory table driven by a persistent
-    #   pool of real worker processes (created once here, reused across
-    #   the whole iterations loop, torn down in the finally block).
-    engine = None
+    #   pool of supervised worker processes (created once, reused across
+    #   the whole iterations loop).  That bitwise identity is also the
+    #   degradation ladder: if the process attempt exhausts its worker
+    #   restart budget, or shared memory is unusable, the run restarts on
+    #   the vectorized backend and produces the same output — the fault
+    #   is recorded in ``stats.degraded``/``stats.faults``, not raised.
     if config.backend == "process" and check_duplicates and m > 0:
-        from repro.parallel.mp_backend import SwapWorkerPool
+        from repro.parallel import shm
+        from repro.parallel.mp_backend import PoolFaultError
 
+        faultinject.arm_from(config)
+        fall_faults: list[FaultEvent] = []
+        try:
+            if shm.HAVE_SHM:
+                try:
+                    return _swap_edges_process(
+                        graph, iterations, config, probing=probing,
+                        check_loops=check_loops, stats=stats, cost=cost,
+                        callback=callback,
+                    )
+                except PoolFaultError as exc:
+                    fall_faults = list(exc.faults)
+                except OSError:
+                    fall_faults = [FaultEvent(-1, "shm")]
+            else:
+                fall_faults = [FaultEvent(-1, "unavailable")]
+        finally:
+            faultinject.disarm_shm_faults()
+        if stats is not None:
+            stats.degraded = True
+            stats.faults.extend(fall_faults)
+        # note: a callback that observed iterations of the failed attempt
+        # will observe the (identical) iterations again from 0
+        config = replace(config, backend="vectorized")
+
+    rng = config.generator()
+    u = graph.u.copy()
+    v = graph.v.copy()
+    n_pairs = m // 2
+    swapped = np.zeros(m, dtype=bool)
+    table = ConcurrentEdgeHashTable(2 * m + 16, probing=probing)
+    tas = (
+        table.test_and_set_serial
+        if config.backend == "serial"
+        else table.test_and_set
+    )
+    u, v = _swap_loop(
+        u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
+        check_duplicates, check_loops, stats, cost, callback, graph.n,
+    )
+    return EdgeList(u, v, graph.n)
+
+
+def _swap_edges_process(
+    graph: EdgeList,
+    iterations: int,
+    config: ParallelConfig,
+    *,
+    probing: str,
+    check_loops: bool,
+    stats: SwapStats | None,
+    cost: CostModel | None,
+    callback,
+) -> EdgeList:
+    """One attempt of :func:`swap_edges` on the supervised process pool.
+
+    Stats and cost are accumulated attempt-locally and merged into the
+    caller's objects only on success: a :class:`PoolFaultError` (or shm
+    ``OSError``) mid-attempt must leave them untouched so the vectorized
+    fallback re-accumulates from a clean slate and the caller sees
+    exactly one run's worth of counts.
+    """
+    from repro.parallel.mp_backend import SwapWorkerPool
+
+    rng = config.generator()
+    u = graph.u.copy()
+    v = graph.v.copy()
+    m = len(u)
+    n_pairs = m // 2
+    swapped = np.zeros(m, dtype=bool)
+    local_stats = SwapStats() if stats is not None else None
+    local_cost = CostModel() if cost is not None else None
+    table = None
+    engine = None
+    try:
         table = ShardedEdgeHashTable(
             2 * m + 16,
             n_shards=config.shards or None,
             probing=probing,
             workers_hint=config.threads,
         )
-        engine = SwapWorkerPool(table, config.threads, capacity=m)
-        tas = engine.test_and_set
-    else:
-        table = ConcurrentEdgeHashTable(2 * m + 16, probing=probing)
-        tas = (
-            table.test_and_set_serial
-            if config.backend == "serial"
-            else table.test_and_set
-        )
-
-    try:
+        engine = SwapWorkerPool(table, config.threads, capacity=m, config=config)
         u, v = _swap_loop(
-            u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
-            check_duplicates, check_loops, stats, cost, callback, graph.n,
+            u, v, swapped, iterations, m, n_pairs, rng, config, table,
+            engine.test_and_set, True, check_loops, local_stats, local_cost,
+            callback, graph.n,
         )
+        if stats is not None:
+            stats.merge_from(local_stats)
+            # recoveries that *succeeded* still happened; surface them
+            stats.faults.extend(engine.faults)
+        if cost is not None:
+            cost.merge(local_cost)
+        return EdgeList(u, v, graph.n)
     finally:
         if engine is not None:
             engine.close()
+        if table is not None:
             table.close()
-
-    return EdgeList(u, v, graph.n)
 
 
 def _swap_loop(

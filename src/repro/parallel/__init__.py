@@ -16,7 +16,10 @@ runtime.  It provides:
 - :mod:`repro.parallel.cost_model` — work/span accounting that converts
   measured work into simulated p-thread wall-clock for scaling studies;
 - :mod:`repro.parallel.mp_backend` — a true-parallel ``multiprocessing``
-  executor over shared memory.
+  executor over shared memory, with a supervised worker pool that
+  recovers dead/hung workers by deterministic batch replay;
+- :mod:`repro.parallel.faultinject` — the deterministic fault-injection
+  harness exercising those recovery paths in tests.
 
 The default engine executes each parallel algorithm's *round structure*
 with vectorized numpy kernels: conflicts (hash-table slot collisions,
@@ -36,11 +39,13 @@ from repro.parallel.permutation import (
 from repro.parallel.hashtable import (
     ConcurrentEdgeHashTable,
     ShardedEdgeHashTable,
+    ShardJournal,
     pack_edges,
     unpack_edges,
 )
-from repro.parallel.shm import SharedArray, ShmDescriptor
+from repro.parallel.shm import SharedArray, ShmDescriptor, reap_stale
 from repro.parallel.cost_model import CostModel, PhaseCost
+from repro.parallel.faultinject import FaultEvent, FaultPlan, FaultSpec, parse_plan
 
 __all__ = [
     "ParallelConfig",
@@ -55,10 +60,16 @@ __all__ = [
     "sort_permutation",
     "ConcurrentEdgeHashTable",
     "ShardedEdgeHashTable",
+    "ShardJournal",
     "SharedArray",
     "ShmDescriptor",
+    "reap_stale",
     "pack_edges",
     "unpack_edges",
     "CostModel",
     "PhaseCost",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "parse_plan",
 ]

@@ -1,0 +1,250 @@
+"""Deterministic fault injection for the process-backend pipeline.
+
+A production-scale generation service treats worker death, hangs, and
+shared-memory hiccups as routine events.  The supervision and replay
+machinery in :mod:`repro.parallel.mp_backend` that makes them routine is
+only trustworthy if every recovery path is exercised deterministically by
+tests — the same discipline fuzzing harnesses apply to their own crash
+handling.  This module is that harness.
+
+A *fault plan* is a comma-separated spec string, read from
+``ParallelConfig.faults`` or the ``REPRO_FAULTS`` environment variable:
+
+``kill:w0:tas:1``
+    SIGKILL worker 0 immediately before its 2nd ``tas`` batch.
+``killmid:w1:insert:0``
+    SIGKILL worker 1 halfway through executing the batch (after half the
+    keys have been inserted) — exercises journal rollback, not just
+    replay.
+``hang:w0:gen:0``
+    worker 0 sleeps instead of serving its 1st ``gen`` message; the
+    supervisor's per-batch deadline (``ParallelConfig.batch_deadline``)
+    must reap it.
+``error:w2:tas:0``
+    worker 2 raises instead of executing (surfaces as a worker error
+    reply, not a death).
+``shm:1``
+    fail the next shared-memory create/attach in *this* process with
+    ``OSError`` (arms a process-local counter).
+``kill:w0:tas:0:x3``
+    fire three times — once per respawned incarnation of worker 0.
+
+Worker-targeted specs count *matching ops as observed by one worker
+process*, so a respawned worker re-observes its replayed batch at index
+0.  The supervising pool disarms (decrements ``times`` of) every spec
+targeting a worker when it respawns it, which is what makes single-shot
+faults single-shot instead of an infinite kill loop.  ``shm`` specs arm
+a process-local counter consumed by
+:class:`repro.parallel.shm.SharedArray`; forked workers disarm it at
+startup so an armed parent never leaks injection into its children.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "FAULT_ENV",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultEvent",
+    "WorkerInjector",
+    "parse_plan",
+    "plan_from",
+    "arm_shm_faults",
+    "disarm_shm_faults",
+    "consume_shm_fault",
+]
+
+#: Environment variable holding a fault-plan string.
+FAULT_ENV = "REPRO_FAULTS"
+
+#: Fault kinds executed inside a worker process.
+WORKER_FAULT_KINDS = ("kill", "killmid", "hang", "error")
+
+#: How long a ``hang`` fault sleeps.  Far beyond any sane batch deadline;
+#: the supervisor is expected to SIGKILL the worker long before this.
+HANG_SECONDS = 600.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: *kind* on *worker* before its *index*-th *op*."""
+
+    kind: str
+    worker: int  #: target worker id; ``-1`` matches any worker
+    op: str  #: ``"gen"`` | ``"tas"`` | ``"insert"`` | ``"bind"`` | ``"*"``
+    index: int  #: fire before the index-th matching op (per worker process)
+    times: int = 1  #: remaining firings (decremented on respawn)
+
+    def matches(self, worker_id: int, op: str, seen: int) -> bool:
+        """Whether this spec fires for *worker_id*'s *seen*-th *op*."""
+        return (
+            self.times > 0
+            and (self.worker == -1 or self.worker == worker_id)
+            and (self.op == "*" or self.op == op)
+            and seen == self.index
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed fault-plan: worker specs plus an shm-failure budget."""
+
+    specs: tuple = ()
+    shm_failures: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.specs) or self.shm_failures > 0
+
+    def after_respawn(self, worker: int) -> "FaultPlan":
+        """Disarm one firing of every spec targeting ``worker``.
+
+        Called by the supervisor when it respawns a worker: whatever spec
+        killed or hung the old incarnation has fired, and the fresh
+        incarnation restarts its op counters at zero — without the
+        decrement a single-shot fault would re-fire on the replayed batch
+        forever.
+        """
+        out = []
+        for s in self.specs:
+            if s.worker in (-1, worker):
+                if s.times > 1:
+                    out.append(replace(s, times=s.times - 1))
+            else:
+                out.append(s)
+        return FaultPlan(tuple(out), self.shm_failures)
+
+
+def parse_plan(spec: str | None) -> FaultPlan | None:
+    """Parse a fault-plan string; ``None``/empty input yields ``None``."""
+    if not spec:
+        return None
+    specs = []
+    shm = 0
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        parts = token.split(":")
+        kind = parts[0]
+        if kind == "shm":
+            if len(parts) != 2:
+                raise ValueError(f"malformed shm fault {token!r}; expected shm:N")
+            shm += int(parts[1])
+            continue
+        if kind not in WORKER_FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; expected one of "
+                f"{WORKER_FAULT_KINDS + ('shm',)}"
+            )
+        if len(parts) not in (4, 5):
+            raise ValueError(
+                f"malformed fault {token!r}; expected kind:wN:op:index[:xT]"
+            )
+        wtok = parts[1]
+        if not wtok.startswith("w"):
+            raise ValueError(f"malformed worker field {wtok!r} in {token!r}")
+        worker = -1 if wtok in ("w*", "w-1") else int(wtok[1:])
+        op = parts[2]
+        index = int(parts[3])
+        if index < 0:
+            raise ValueError(f"fault index must be >= 0 in {token!r}")
+        times = 1
+        if len(parts) == 5:
+            if not parts[4].startswith("x"):
+                raise ValueError(f"malformed repeat field {parts[4]!r} in {token!r}")
+            times = int(parts[4][1:])
+        specs.append(FaultSpec(kind, worker, op, index, times))
+    plan = FaultPlan(tuple(specs), shm)
+    return plan if plan else None
+
+
+def plan_from(config) -> FaultPlan | None:
+    """The active fault plan for a run: config field, else environment."""
+    spec = getattr(config, "faults", "") if config is not None else ""
+    return parse_plan(spec or os.environ.get(FAULT_ENV, ""))
+
+
+class WorkerInjector:
+    """Per-worker-process firing state: counts matching ops, fires faults.
+
+    ``fire(op)`` is called by the worker loop at the top of every message.
+    ``kill`` and ``hang`` never return; ``error`` raises; ``killmid``
+    returns the string ``"killmid"`` so the worker can do half the batch
+    before killing itself (the loop owns the batch internals, not us).
+    """
+
+    def __init__(self, plan: FaultPlan, worker_id: int) -> None:
+        self._plan = plan
+        self._worker = int(worker_id)
+        self._seen: dict[str, int] = {}
+
+    def fire(self, op: str) -> str | None:
+        """Trigger any armed fault for *op*; returns ``"killmid"`` or None."""
+        seen = self._seen.get(op, 0)
+        self._seen[op] = seen + 1
+        action = None
+        for spec in self._plan.specs:
+            if not spec.matches(self._worker, op, seen):
+                continue
+            if spec.kind == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif spec.kind == "hang":
+                time.sleep(HANG_SECONDS)
+                # a hang that outlives the supervisor's patience must not
+                # wake up and serve stale work
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif spec.kind == "error":
+                raise RuntimeError(
+                    f"injected worker fault (worker {self._worker}, op {op!r})"
+                )
+            else:  # killmid: the worker loop executes half the batch first
+                action = spec.kind
+        return action
+
+
+@dataclass
+class FaultEvent:
+    """One supervised recovery (or degradation trigger) record."""
+
+    worker: int  #: worker id, or -1 for process-wide events (shm faults)
+    kind: str  #: ``"died"`` | ``"hung"`` | ``"shm"`` | ``"unavailable"``
+    op: str | None = None  #: op of the batch being replayed, if known
+    restart: int = 0  #: pool restart counter after this event
+
+
+# -- process-local shared-memory fault counter ----------------------------
+
+_shm_failures = 0
+
+
+def arm_shm_faults(n: int) -> None:
+    """Make the next ``n`` SharedArray creations/attachments fail."""
+    global _shm_failures
+    _shm_failures = max(0, int(n))
+
+
+def disarm_shm_faults() -> None:
+    """Clear the counter (workers call this at startup post-fork)."""
+    global _shm_failures
+    _shm_failures = 0
+
+
+def arm_from(config) -> None:
+    """Arm the shm counter from a config/env fault plan, if any."""
+    plan = plan_from(config)
+    if plan is not None and plan.shm_failures:
+        arm_shm_faults(plan.shm_failures)
+
+
+def consume_shm_fault() -> bool:
+    """True (and decrement) if an armed shm fault should fire now."""
+    global _shm_failures
+    if _shm_failures > 0:
+        _shm_failures -= 1
+        return True
+    return False

@@ -35,6 +35,7 @@ from repro.parallel.shm import SharedArray, ShmDescriptor
 __all__ = [
     "ConcurrentEdgeHashTable",
     "ShardedEdgeHashTable",
+    "ShardJournal",
     "SHARD_STAT_COLUMNS",
     "pack_edges",
     "unpack_edges",
@@ -371,9 +372,13 @@ class ShardedEdgeHashTable:
             )
             self._shm_slots = SharedArray((n_shards, slots_per_shard), np.int64)
             self._shm_slots.array.fill(EMPTY_KEY)
-            self._shm_stats = SharedArray(
-                (n_shards, len(SHARD_STAT_COLUMNS)), np.int64
-            )
+            try:
+                self._shm_stats = SharedArray(
+                    (n_shards, len(SHARD_STAT_COLUMNS)), np.int64
+                )
+            except BaseException:
+                self._shm_slots.close()
+                raise
             self._shm_stats.array.fill(0)
             self._owner = True
             if arena is not None:
@@ -392,6 +397,8 @@ class ShardedEdgeHashTable:
         self._claim_scratch = np.full(
             self._slots.shape[1], np.iinfo(np.int64).max, dtype=np.int64
         )
+        # optional write-ahead journal (set per worker; see ShardJournal)
+        self._journal: "ShardJournal | None" = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -416,6 +423,16 @@ class ShardedEdgeHashTable:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def set_journal(self, journal: "ShardJournal | None") -> None:
+        """Route slot claims through a write-ahead journal (worker side).
+
+        While a journal is attached, every winner slot is journaled
+        *before* the key is written, so an uncommitted batch can be rolled
+        back to the exact pre-batch shard state after a worker dies
+        mid-insert.  ``None`` detaches.
+        """
+        self._journal = journal
 
     # -- geometry --------------------------------------------------------
 
@@ -540,6 +557,11 @@ class ShardedEdgeHashTable:
                 stats_row[_S_FAILURES] += len(claim_idx) - int(won.sum())
                 stats_row[_S_ROUNDS] += 1
                 winners = claim_idx[won]
+                if self._journal is not None:
+                    # write-ahead: journal the claimed slots before the key
+                    # writes land, so a SIGKILL anywhere past this point
+                    # still rolls back to the pre-batch state
+                    self._journal.record(shard, claim_slots[won])
                 row[claim_slots[won]] = keys[winners]
                 stats_row[_S_INSERTED] += len(winners)
 
@@ -588,3 +610,163 @@ class ShardedEdgeHashTable:
             probe[unresolved[cont]] += 1
             unresolved = unresolved[cont]
         return found
+
+
+# -- per-worker batch replay journal --------------------------------------
+
+_J_STATE, _J_COUNT, _J_SHARDS, _J_LASTSEQ = 0, 1, 2, 3
+_J_HEADER = 4
+
+
+class ShardJournal:
+    """Shared-memory write-ahead journal for one worker's TAS batch.
+
+    Replaying a failed swap or insert batch is only deterministic if the
+    shards the dead worker touched are first restored to their pre-batch
+    state — a batch that half-completed before a SIGKILL would otherwise
+    see its own partial inserts as "already present" on replay.  Each
+    worker owns one journal: before a batch it snapshots the per-shard
+    stats and raises the *active* flag; during the batch every claimed
+    slot is journaled **before** the key is written into it; on success
+    the batch commits (flag drops).  If the supervisor finds the flag
+    still raised after a worker death, :meth:`rollback` clears exactly the
+    journaled slots and restores the worker's shard-stat rows — valid
+    concurrently with other live workers because shard ownership makes
+    the dead worker the sole writer of everything being reverted.
+
+    Layout (one flat int64 shm array)::
+
+        [0]  state     0 = idle/committed, 1 = batch in flight
+        [1]  count     number of journaled entries
+        [2]  n_shards
+        [3]  last_seq  sequence number of the last committed batch
+        [4 : 4 + 6*n_shards]        stats snapshot at batch start
+        [4 + 6*n_shards : ]         entries, packed (shard << 32) | slot
+
+    Entry writes land before the count bump, and the count bump before the
+    table's slot writes, so a kill at *any* instruction leaves a journal
+    whose rollback is exact (clearing an empty slot is a no-op).  The
+    ``last_seq`` stamp lets the supervisor distinguish a batch that
+    *committed but whose reply died with the worker* (must **not** be
+    replayed — TestAndSet is not idempotent) from one that never
+    finished (rollback, then replay).
+    """
+
+    def __init__(
+        self, n_shards: int, capacity: int, *, _attach=None
+    ) -> None:
+        n_cols = len(SHARD_STAT_COLUMNS)
+        if _attach is not None:
+            self._shm = SharedArray.attach(_attach)
+            self._owner = False
+            buf = self._shm.array
+            n_shards = int(buf[_J_SHARDS])
+        else:
+            if n_shards < 1:
+                raise ValueError("n_shards must be >= 1")
+            size = _J_HEADER + n_cols * n_shards + max(1, int(capacity))
+            self._shm = SharedArray((size,), np.int64)
+            buf = self._shm.array
+            buf.fill(0)
+            buf[_J_SHARDS] = n_shards
+            self._owner = True
+        self._buf = buf
+        self.n_shards = int(n_shards)
+        self._stats_lo = _J_HEADER
+        self._stats_hi = _J_HEADER + n_cols * self.n_shards
+        self.capacity = int(len(buf) - self._stats_hi)
+
+    @property
+    def descriptor(self) -> ShmDescriptor:
+        """Picklable handle workers use to :meth:`attach`."""
+        return self._shm.descriptor
+
+    @classmethod
+    def attach(cls, descriptor) -> "ShardJournal":
+        """Map a journal created by another process (never unlinks it)."""
+        return cls(0, 0, _attach=descriptor)
+
+    @property
+    def active(self) -> bool:
+        """True while an uncommitted batch is in flight."""
+        return bool(self._buf[_J_STATE])
+
+    @property
+    def last_committed(self) -> int:
+        """Sequence number of the most recently committed batch (0 = none)."""
+        return int(self._buf[_J_LASTSEQ])
+
+    def begin(self, table: ShardedEdgeHashTable) -> None:
+        """Open a batch: snapshot stats, reset the entry log, raise flag."""
+        buf = self._buf
+        buf[_J_COUNT] = 0
+        buf[self._stats_lo : self._stats_hi] = table._stats.reshape(-1)
+        buf[_J_STATE] = 1
+
+    def record(self, shard: int, slots: np.ndarray) -> None:
+        """Journal claimed ``slots`` of ``shard`` (called pre-write)."""
+        buf = self._buf
+        if not buf[_J_STATE] or not len(slots):
+            return
+        count = int(buf[_J_COUNT])
+        if count + len(slots) > self.capacity:
+            raise RuntimeError(
+                f"shard journal overflow ({count + len(slots)} > {self.capacity})"
+            )
+        lo = self._stats_hi + count
+        buf[lo : lo + len(slots)] = (np.int64(shard) << np.int64(32)) | slots.astype(
+            np.int64
+        )
+        buf[_J_COUNT] = count + len(slots)
+
+    def commit(self, seq: int = 0) -> None:
+        """Close the batch: its inserts are now permanent.
+
+        ``seq`` is the parent-assigned batch sequence number; stamping it
+        *before* dropping the active flag means a kill between the two
+        writes is read as "still in flight" (rolled back and replayed),
+        never as "committed" with a stale stamp.
+        """
+        self._buf[_J_LASTSEQ] = seq
+        self._buf[_J_STATE] = 0
+        self._buf[_J_COUNT] = 0
+
+    def rollback(self, table: ShardedEdgeHashTable, shards=None) -> bool:
+        """Undo an uncommitted batch; returns True if one was undone.
+
+        ``shards`` limits which shard-stat rows are restored from the
+        snapshot — pass the dead worker's owned shards when other workers
+        are live (their rows have since advanced legitimately); ``None``
+        restores every row (safe only with no concurrent writers).
+        """
+        buf = self._buf
+        if not buf[_J_STATE]:
+            return False
+        count = int(buf[_J_COUNT])
+        if count:
+            entries = buf[self._stats_hi : self._stats_hi + count]
+            e_shards = (entries >> np.int64(32)).astype(np.int64)
+            e_slots = (entries & np.int64(0xFFFFFFFF)).astype(np.int64)
+            table._slots[e_shards, e_slots] = EMPTY_KEY
+        n_cols = len(SHARD_STAT_COLUMNS)
+        snap = buf[self._stats_lo : self._stats_hi].reshape(self.n_shards, n_cols)
+        if shards is None:
+            table._stats[:, :] = snap
+        else:
+            idx = np.asarray(sorted(shards), dtype=np.int64)
+            if len(idx):
+                table._stats[idx, :] = snap[idx, :]
+        buf[_J_STATE] = 0
+        buf[_J_COUNT] = 0
+        return True
+
+    def close(self) -> None:
+        """Release this process's mapping; the owner also unlinks."""
+        self._buf = None
+        self._shm.close()
+
+    def __enter__(self) -> "ShardJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -33,6 +33,23 @@ fans work out to worker processes.  Two mechanisms live here:
   reused across the whole iterations loop, and torn down via context
   manager (with an ``atexit`` safety net).
 
+The pool is **supervised**: the completion barrier probes worker
+liveness, and a worker that dies (OOM kill, segfault, injected fault) or
+blows the optional per-batch deadline (``ParallelConfig.batch_deadline``)
+is respawned, re-bound to the shared table and buffers, and its
+unacknowledged batches are deterministically replayed — generation
+chunks are pure functions of ``(seed, chunk)``, and TAS/insert batches
+are guarded by a per-worker shared-memory write-ahead journal
+(:class:`~repro.parallel.hashtable.ShardJournal`) that rolls the dead
+worker's shards back to the exact pre-batch state first.  Recovery is
+bitwise-invisible: the run's output equals the fault-free run's.  Once
+``ParallelConfig.max_worker_restarts`` is exhausted the pool tears down
+and raises :class:`PoolFaultError`, listing which batch indices of the
+in-flight submission completed and which were lost, so callers
+(:func:`~repro.core.swap.swap_edges`,
+:func:`~repro.core.generate.generate_graph`) can degrade to the
+bitwise-identical vectorized backend instead of aborting the run.
+
 All backends are functionally identical to the vectorized engine (same
 chunk partitioning, same per-chunk RNG streams, same TestAndSet
 verdicts) and are exercised by the differential test harness; on
@@ -42,24 +59,32 @@ multi-core hosts they provide genuine parallel speedup.
 from __future__ import annotations
 
 import atexit
+import itertools
 import multiprocessing as mp
 import os
 import queue
+import signal
+import time
 import traceback
+from collections import deque
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable
 
 import numpy as np
 
-from repro.parallel.hashtable import ShardedEdgeHashTable
+from repro.parallel import faultinject
+from repro.parallel.faultinject import FaultEvent
+from repro.parallel.hashtable import ShardedEdgeHashTable, ShardJournal
 from repro.parallel.rng import spawn_generators
 from repro.parallel.runtime import ParallelConfig, chunk_bounds, get_executor
-from repro.parallel.shm import SharedArray
+from repro.parallel.shm import SharedArray, reap_stale
 
 __all__ = [
     "process_chunk_map",
     "available_workers",
     "PipelineWorkerPool",
     "SwapWorkerPool",
+    "PoolFaultError",
 ]
 
 
@@ -67,6 +92,29 @@ def available_workers(requested: int) -> int:
     """Clamp a requested worker count to what the host offers."""
     host = os.cpu_count() or 1
     return max(1, min(requested, host))
+
+
+class PoolFaultError(RuntimeError):
+    """Raised when the supervised pool exhausts its restart budget.
+
+    Attributes
+    ----------
+    completed:
+        Batch indices of the in-flight submission that finished before
+        the pool gave up (their effects are committed).
+    lost:
+        Batch indices that were outstanding when the pool tore down
+        (journaled side effects were rolled back).
+    faults:
+        The :class:`~repro.parallel.faultinject.FaultEvent` history of
+        the pool, including the final, unrecovered failure.
+    """
+
+    def __init__(self, message: str, *, completed=(), lost=(), faults=()) -> None:
+        super().__init__(message)
+        self.completed = list(completed)
+        self.lost = list(lost)
+        self.faults = list(faults)
 
 
 def process_chunk_map(
@@ -83,7 +131,9 @@ def process_chunk_map(
     streams chunk-for-chunk.  Returns the per-chunk result arrays in chunk
     order.  ``backend="process"`` submissions go to the persistent pool
     (:func:`repro.parallel.runtime.get_executor`), so repeated calls reuse
-    the same worker processes.
+    the same worker processes.  A pool broken by worker death is not
+    fatal: the chunks are pure, so they are simply re-run inline (kernel
+    exceptions still propagate unchanged).
     """
     p = config.threads
     bounds = chunk_bounds(n, p)
@@ -97,7 +147,12 @@ def process_chunk_map(
         return [kernel(lo, hi, seed, *shared_args) for lo, hi, seed in jobs]
     pool = get_executor(available_workers(p))
     futures = [pool.submit(kernel, lo, hi, seed, *shared_args) for lo, hi, seed in jobs]
-    return [f.result() for f in futures]
+    try:
+        return [f.result() for f in futures]
+    except BrokenProcessPool:
+        # a worker was killed mid-chunk; chunks are pure functions of
+        # (lo, hi, seed), so replaying them inline is bitwise-identical
+        return [kernel(lo, hi, seed, *shared_args) for lo, hi, seed in jobs]
 
 
 # -- the swap engine's dedicated worker pool -----------------------------
@@ -145,22 +200,28 @@ def _worker_gen(msg, gen_static, cache):
     return ("ok", chunk, k)
 
 
-def _worker_insert(msg, table, cache):
+def _worker_insert(msg, table, cache, kill_mid: bool = False):
     """Serve one ``insert`` message: register key spans into the table.
 
     Spans arrive in chunk order; concatenating them yields this worker's
     keys in global edge order, so the single ``test_and_set`` call runs
     exactly the per-shard batch protocol the phased path's iteration-0
-    registration would.
+    registration would.  ``kill_mid`` is the fault-injection hook: insert
+    half the keys, then SIGKILL — the half-batch the journal must undo.
     """
     spans = msg[1]
     parts = [_attach_cached(cache, desc).array[lo:hi] for desc, lo, hi in spans]
     if parts:
         keys = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        if kill_mid:  # pragma: no cover - subprocess-only injection path
+            table.test_and_set(keys[: len(keys) // 2])
+            os.kill(os.getpid(), signal.SIGKILL)
         table.test_and_set(keys)
 
 
-def _pipeline_worker(worker_id, bind0, gen_static, task_queue, done_queue) -> None:
+def _pipeline_worker(
+    worker_id, bind0, gen_static, task_queue, done_queue, fault_plan=None
+) -> None:
     """Worker loop serving all pipeline phases from one process.
 
     Messages:
@@ -168,8 +229,9 @@ def _pipeline_worker(worker_id, bind0, gen_static, task_queue, done_queue) -> No
     - ``("gen", chunk, lo, hi, seed, edges_desc, keys_desc, counts_desc,
       offset, cap)`` — run the edge-skip kernel over spaces ``[lo, hi)``
       and write results into shared memory (requires ``gen_static``);
-    - ``("bind", table_desc, keys_desc, flags_desc)`` — attach the
-      sharded table and the TestAndSet exchange buffers;
+    - ``("bind", table_desc, keys_desc, flags_desc, journal_desc)`` —
+      attach the sharded table, the TestAndSet exchange buffers, and
+      this worker's replay journal;
     - ``("insert", [(desc, lo, hi), ...])`` — register generated keys
       into the bound table (this worker's shards only);
     - ``("tas", lo, hi)`` — TestAndSet over ``keys[lo:hi]`` (all shards
@@ -178,16 +240,37 @@ def _pipeline_worker(worker_id, bind0, gen_static, task_queue, done_queue) -> No
     - ``("stop",)`` — exit.
 
     Replies are ``(worker_id, error_or_None, payload_or_None)``.
+
+    TAS and insert batches run inside a journal ``begin``/``commit``
+    window so the supervising parent can roll this worker's shards back
+    to the pre-batch state if it dies mid-batch.  ``fault_plan`` is the
+    deterministic injection harness (see
+    :mod:`repro.parallel.faultinject`); an armed shm-failure counter
+    inherited from the parent at fork is explicitly disarmed so parent
+    injection never leaks into children.
     """
+    faultinject.disarm_shm_faults()
+    injector = (
+        faultinject.WorkerInjector(fault_plan, worker_id)
+        if fault_plan is not None and fault_plan.specs
+        else None
+    )
     cache: dict[str, SharedArray] = {}
     table = None
+    journal = None
     keys_buf = flags_buf = None
 
-    def do_bind(table_desc, keys_desc, flags_desc):
-        nonlocal table, keys_buf, flags_buf
+    def do_bind(table_desc, keys_desc, flags_desc, journal_desc=None):
+        nonlocal table, journal, keys_buf, flags_buf
         if table is not None:
             table.close()
+        if journal is not None:
+            journal.close()
+            journal = None
         table = ShardedEdgeHashTable.attach(table_desc)
+        if journal_desc is not None:
+            journal = ShardJournal.attach(journal_desc)
+            table.set_journal(journal)
         keys_buf = _attach_cached(cache, keys_desc)
         flags_buf = _attach_cached(cache, flags_desc)
 
@@ -200,17 +283,37 @@ def _pipeline_worker(worker_id, bind0, gen_static, task_queue, done_queue) -> No
                 break
             try:
                 op = msg[0]
+                action = injector.fire(op) if injector is not None else None
                 reply = None
                 if op == "tas":
-                    _, lo, hi = msg
+                    _, lo, hi, seq = msg
+                    if journal is not None:
+                        journal.begin(table)
+                    if action == "killmid":  # pragma: no cover - subprocess only
+                        mid = lo + (hi - lo) // 2
+                        flags_buf.array[lo:mid] = table.test_and_set(
+                            keys_buf.array[lo:mid]
+                        )
+                        os.kill(os.getpid(), signal.SIGKILL)
                     present = table.test_and_set(keys_buf.array[lo:hi])
                     flags_buf.array[lo:hi] = present
+                    if journal is not None:
+                        journal.commit(seq)
                 elif op == "gen":
                     reply = _worker_gen(msg, gen_static, cache)
+                    if action == "killmid":  # pragma: no cover - subprocess only
+                        # completed but unacknowledged: the replay must
+                        # rewrite the same shm slices bit for bit
+                        os.kill(os.getpid(), signal.SIGKILL)
                 elif op == "insert":
-                    _worker_insert(msg, table, cache)
+                    _, _, seq = msg
+                    if journal is not None:
+                        journal.begin(table)
+                    _worker_insert(msg, table, cache, kill_mid=action == "killmid")
+                    if journal is not None:
+                        journal.commit(seq)
                 elif op == "bind":
-                    do_bind(msg[1], msg[2], msg[3])
+                    do_bind(*msg[1:])
                 else:
                     raise ValueError(f"unknown pipeline message {op!r}")
                 done_queue.put((worker_id, None, reply))
@@ -219,6 +322,8 @@ def _pipeline_worker(worker_id, bind0, gen_static, task_queue, done_queue) -> No
     finally:
         if table is not None:
             table.close()
+        if journal is not None:
+            journal.close()
         for arr in cache.values():
             arr.close()
 
@@ -235,6 +340,12 @@ class PipelineWorkerPool:
     geometry is fixed by the *logical* thread count, so results are
     identical for any worker-process count.
 
+    The pool supervises its workers (see the module docstring): dead and
+    hung workers are respawned and their batches replayed up to
+    ``max_worker_restarts`` times, after which :class:`PoolFaultError`
+    reports exactly which batch indices completed versus were lost.
+    Every recovery is recorded in :attr:`faults`.
+
     Parameters
     ----------
     processes:
@@ -246,32 +357,106 @@ class PipelineWorkerPool:
         Optional dict of per-spawn generation context (space table
         arrays, class offsets/counts, ``n_shards``, ``n_owners``)
         inherited by workers at fork; required for ``gen`` messages.
+    config:
+        Optional :class:`~repro.parallel.runtime.ParallelConfig`
+        supplying the supervision knobs (``max_worker_restarts``,
+        ``batch_deadline``) and the fault-injection plan (``faults``).
     """
 
-    def __init__(self, processes: int, *, gen_static: dict | None = None,
-                 _bind0: tuple | None = None) -> None:
+    def __init__(
+        self,
+        processes: int,
+        *,
+        gen_static: dict | None = None,
+        config: ParallelConfig | None = None,
+        _bind: tuple | None = None,
+    ) -> None:
         self.n_workers = max(1, int(processes))
+        self._gen_static = gen_static
+        self._max_restarts = (
+            config.max_worker_restarts if config is not None else 2
+        )
+        self._deadline = config.batch_deadline if config is not None else None
+        self._plan = faultinject.plan_from(config)
+        self._restarts = 0
+        self._seq = itertools.count(1)  # batch sequence stamps (journal)
+        #: recovery history (FaultEvent records), in order of occurrence
+        self.faults: list[FaultEvent] = []
         self._table: ShardedEdgeHashTable | None = None
         self._keys_buf: SharedArray | None = None
         self._flags_buf: SharedArray | None = None
+        self._journals: list[ShardJournal] = []
         self._own_buffers = False
-        ctx = _mp_context()
-        self._task_queues = [ctx.SimpleQueue() for _ in range(self.n_workers)]
+        try:
+            # sweep segments stranded by previously crashed runs; pool
+            # startup is the natural amortization point
+            reap_stale()
+        except Exception:  # pragma: no cover - best-effort hygiene
+            pass
+        if _bind is not None:
+            self._set_bind(*_bind)
+        self._ctx = _mp_context()
         # a full Queue (not SimpleQueue) so the completion barrier can poll
         # with a timeout and notice workers that died without replying
-        self._done_queue = ctx.Queue()
-        self._procs = [
-            ctx.Process(
-                target=_pipeline_worker,
-                args=(w, _bind0, gen_static, self._task_queues[w], self._done_queue),
-                daemon=True,
-            )
-            for w in range(self.n_workers)
-        ]
-        for p in self._procs:
-            p.start()
+        self._done_queue = self._ctx.Queue()
+        self._task_queues: list = [None] * self.n_workers
+        self._procs: list = [None] * self.n_workers
         self._closed = False
+        for w in range(self.n_workers):
+            self._spawn(w)
         self._atexit = atexit.register(self.close)
+
+    # -- worker lifecycle -------------------------------------------------
+
+    def _worker_bind0(self, w: int) -> tuple | None:
+        """The bind-at-spawn tuple for worker ``w`` (None before bind)."""
+        if self._table is None:
+            return None
+        return (
+            self._table.descriptor(),
+            self._keys_buf.descriptor,
+            self._flags_buf.descriptor,
+            self._journals[w].descriptor,
+        )
+
+    def _spawn(self, w: int) -> None:
+        """(Re)spawn worker ``w`` with a fresh task queue and current bind."""
+        self._task_queues[w] = self._ctx.SimpleQueue()
+        proc = self._ctx.Process(
+            target=_pipeline_worker,
+            args=(
+                w,
+                self._worker_bind0(w),
+                self._gen_static,
+                self._task_queues[w],
+                self._done_queue,
+                self._plan,
+            ),
+            daemon=True,
+        )
+        self._procs[w] = proc
+        proc.start()
+
+    def _set_bind(
+        self,
+        table: ShardedEdgeHashTable,
+        keys_buf: SharedArray,
+        flags_buf: SharedArray,
+    ) -> None:
+        """Record the bind state and build one replay journal per worker."""
+        for j in self._journals:
+            j.close()
+        self._table = table
+        self._keys_buf = keys_buf
+        self._flags_buf = flags_buf
+        self._journals = [
+            ShardJournal(table.n_shards, len(keys_buf.array))
+            for _ in range(self.n_workers)
+        ]
+
+    def _owned_shards(self, w: int) -> range:
+        """Shards whose single writer is worker ``w``."""
+        return range(w, self._table.n_shards, self.n_workers)
 
     # -- dispatch plumbing ------------------------------------------------
 
@@ -279,35 +464,148 @@ class PipelineWorkerPool:
         """Send ``(worker, message)`` jobs and barrier on their replies."""
         if self._closed:
             raise RuntimeError(f"{type(self).__name__} is closed")
-        for w, msg in jobs:
+        pending: dict[int, deque] = {w: deque() for w in range(self.n_workers)}
+        for idx, (w, msg) in enumerate(jobs):
+            pending[w].append((idx, msg))
             self._task_queues[w].put(msg)
-        return self._barrier(len(jobs))
+        return self._await_replies(pending, len(jobs))
 
-    def _barrier(self, active: int) -> list:
-        replies = []
-        errors = []
-        done = 0
-        while done < active:
-            try:
-                worker_id, err, reply = self._done_queue.get(timeout=1.0)
-            except queue.Empty:
-                dead = [w for w, p in enumerate(self._procs) if not p.is_alive()]
-                if dead:
-                    self.close()
-                    raise RuntimeError(
-                        f"pipeline worker(s) {dead} died without completing a "
-                        "batch (killed or crashed); pool torn down"
-                    )
-                continue
-            done += 1
+    def _await_replies(self, pending: dict[int, deque], n_jobs: int) -> list:
+        """Supervised completion barrier: collect replies, recover faults.
+
+        Each worker serves its task queue FIFO and replies in order, so a
+        reply from worker ``w`` always acknowledges the head of
+        ``pending[w]``.  When the done queue stays empty, the supervisor
+        probes liveness (and the optional batch deadline): a dead or hung
+        worker is recovered via :meth:`_recover` — journal rollback,
+        respawn, resend of every unacknowledged message.
+        """
+        replies: list = []
+        errors: list[tuple[int, str]] = []
+
+        def consume(item) -> None:
+            worker_id, err, reply = item
+            dq = pending.get(worker_id)
+            if dq:
+                dq.popleft()
             if err is not None:
                 errors.append((worker_id, err))
-            else:
+            elif reply is not None:
                 replies.append(reply)
+
+        def drain() -> None:
+            while True:
+                try:
+                    item = self._done_queue.get_nowait()
+                except queue.Empty:
+                    return
+                except Exception:  # pragma: no cover - torn-down queue
+                    return
+                consume(item)
+
+        deadline_at = (
+            time.monotonic() + self._deadline if self._deadline is not None else None
+        )
+        while any(pending.values()):
+            try:
+                item = self._done_queue.get(timeout=0.25)
+            except queue.Empty:
+                item = None
+            except Exception:  # pragma: no cover - reply truncated by SIGKILL
+                item = None
+            if item is not None:
+                consume(item)
+                continue
+            dead = [
+                w
+                for w, dq in pending.items()
+                if dq and not self._procs[w].is_alive()
+            ]
+            hung = []
+            if deadline_at is not None and time.monotonic() > deadline_at:
+                hung = [
+                    w
+                    for w, dq in pending.items()
+                    if dq and w not in dead and self._procs[w].is_alive()
+                ]
+            if not dead and not hung:
+                continue
+            for w, kind in [(w, "died") for w in dead] + [(w, "hung") for w in hung]:
+                self._recover(w, kind, pending, n_jobs, drain)
+            if deadline_at is not None:
+                # recovered workers replay their batch in a fresh window
+                deadline_at = time.monotonic() + self._deadline
         if errors:
             detail = "\n".join(f"[worker {w}]\n{e}" for w, e in errors)
             raise RuntimeError(f"pipeline worker failure:\n{detail}")
         return replies
+
+    def _recover(
+        self, w: int, kind: str, pending: dict[int, deque], n_jobs: int, drain
+    ) -> None:
+        """Respawn worker ``w`` and replay its unacknowledged batches.
+
+        Raises :class:`PoolFaultError` (after tearing the pool down) when
+        the restart budget is exhausted.
+        """
+        proc = self._procs[w]
+        if proc.is_alive():  # hung: force it down before recovering
+            proc.kill()
+        proc.join(timeout=5)
+        # consume replies already queued — the worker may have completed
+        # (and acknowledged) batches between our last poll and its death,
+        # and other live workers keep finishing during recovery
+        drain()
+        dq = pending[w]
+        # a batch may have committed but died before its reply flushed:
+        # its journal stamp tells it apart from a never-finished batch.
+        # TestAndSet is not idempotent, so a committed batch must be
+        # acknowledged here, never replayed (its flags are already in shm)
+        if (
+            dq
+            and dq[0][1][0] in ("tas", "insert")
+            and self._journals
+            and self._journals[w].last_committed == dq[0][1][-1]
+        ):
+            dq.popleft()
+        op = dq[0][1][0] if dq else None
+        if self._restarts >= self._max_restarts:
+            outstanding = {idx for d in pending.values() for idx, _ in d}
+            completed = sorted(set(range(n_jobs)) - outstanding)
+            event = FaultEvent(w, kind, op=op, restart=self._restarts)
+            self.faults.append(event)
+            # undo the half-applied batch so shared state stays coherent
+            # for whoever inspects it post-mortem
+            if self._journals and self._table is not None:
+                self._journals[w].rollback(self._table, self._owned_shards(w))
+            faults = list(self.faults)
+            self.close()
+            raise PoolFaultError(
+                f"pipeline worker {w} {kind} with restart budget exhausted "
+                f"({self._max_restarts} restarts); batches completed="
+                f"{completed}, lost={sorted(outstanding)}",
+                completed=completed,
+                lost=sorted(outstanding),
+                faults=faults,
+            )
+        self._restarts += 1
+        self.faults.append(FaultEvent(w, kind, op=op, restart=self._restarts))
+        # roll this worker's shards back to their pre-batch state; other
+        # workers' shards are untouched (single-writer ownership)
+        if self._journals and self._table is not None:
+            self._journals[w].rollback(self._table, self._owned_shards(w))
+        if self._plan is not None:
+            # the spec that downed this incarnation has fired; disarm it
+            # so the respawn (whose op counters restart at zero) doesn't
+            # loop through the same fault forever
+            self._plan = self._plan.after_respawn(w)
+        try:
+            self._task_queues[w].close()
+        except Exception:  # pragma: no cover - already torn down
+            pass
+        self._spawn(w)
+        for _, msg in dq:
+            self._task_queues[w].put(msg)
 
     # -- phase operations -------------------------------------------------
 
@@ -318,16 +616,31 @@ class PipelineWorkerPool:
     def bind(self, table: ShardedEdgeHashTable, keys_buf: SharedArray,
              flags_buf: SharedArray) -> None:
         """Attach the (just-created) table and exchange buffers everywhere."""
-        self._table = table
-        self._keys_buf = keys_buf
-        self._flags_buf = flags_buf
-        msg = ("bind", table.descriptor(), keys_buf.descriptor, flags_buf.descriptor)
-        self._submit([(w, msg) for w in range(self.n_workers)])
+        self._set_bind(table, keys_buf, flags_buf)
+        self._submit(
+            [
+                (
+                    w,
+                    (
+                        "bind",
+                        table.descriptor(),
+                        keys_buf.descriptor,
+                        flags_buf.descriptor,
+                        self._journals[w].descriptor,
+                    ),
+                )
+                for w in range(self.n_workers)
+            ]
+        )
 
     def insert(self, spans_per_worker: list[list]) -> None:
         """Register generated keys: worker ``w`` inserts its own spans."""
         self._submit(
-            [(w, ("insert", spans)) for w, spans in enumerate(spans_per_worker) if spans]
+            [
+                (w, ("insert", spans, next(self._seq)))
+                for w, spans in enumerate(spans_per_worker)
+                if spans
+            ]
         )
 
     def test_and_set(self, keys: np.ndarray) -> np.ndarray:
@@ -362,7 +675,7 @@ class PipelineWorkerPool:
         for w in range(self.n_workers):
             lo, hi = int(bounds[w]), int(bounds[w + 1])
             if hi > lo:
-                jobs.append((w, ("tas", lo, hi)))
+                jobs.append((w, ("tas", lo, hi, next(self._seq))))
         self._submit(jobs)
         present[order] = self._flags_buf.array[:n].astype(bool)
         return present
@@ -379,27 +692,59 @@ class PipelineWorkerPool:
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
-        """Stop workers, join them, release owned exchange buffers."""
+        """Stop workers, join them, release owned shared resources.
+
+        Escalates ``join`` → ``terminate`` → ``kill`` so a stuck worker
+        can never hang teardown, drains the done queue (then cancels its
+        feeder join) before closing it, and releases journals and owned
+        buffers in a ``finally`` so a ``KeyboardInterrupt`` mid-close
+        cannot leak shared-memory segments.  Idempotent.
+        """
         if self._closed:
             return
         self._closed = True
         atexit.unregister(self.close)
-        for q in self._task_queues:
-            try:
-                q.put(("stop",))
-            except (OSError, ValueError):  # pragma: no cover - queue torn down
-                pass
-        for p in self._procs:
-            p.join(timeout=5)
-            if p.is_alive():  # pragma: no cover - stuck worker
-                p.terminate()
-                p.join(timeout=1)
-        for q in self._task_queues:
-            q.close()
-        self._done_queue.close()
-        if self._own_buffers:
-            self._keys_buf.close()
-            self._flags_buf.close()
+        try:
+            for q in self._task_queues:
+                try:
+                    q.put(("stop",))
+                except (OSError, ValueError):  # pragma: no cover - torn down
+                    pass
+            for p in self._procs:
+                p.join(timeout=2)
+            for p in self._procs:
+                if p.is_alive():  # pragma: no cover - stuck worker
+                    p.terminate()
+                    p.join(timeout=1)
+                if p.is_alive():  # pragma: no cover - unkillable via TERM
+                    p.kill()
+                    p.join(timeout=1)
+            # drain before closing: queue feeder threads block interpreter
+            # exit if buffered items are never flushed nor cancelled
+            while True:
+                try:
+                    self._done_queue.get_nowait()
+                except queue.Empty:
+                    break
+                except Exception:  # pragma: no cover - torn-down queue
+                    break
+            self._done_queue.cancel_join_thread()
+            self._done_queue.close()
+            for q in self._task_queues:
+                try:
+                    q.close()
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+        finally:
+            for j in self._journals:
+                try:
+                    j.close()
+                except Exception:  # pragma: no cover - already closed
+                    pass
+            self._journals = []
+            if self._own_buffers:
+                self._keys_buf.close()
+                self._flags_buf.close()
 
     def __enter__(self) -> "PipelineWorkerPool":
         return self
@@ -427,17 +772,32 @@ class SwapWorkerPool(PipelineWorkerPool):
     capacity:
         Maximum keys per batch (the edge count ``m`` for a swap run);
         sizes the shared key/flag exchange buffers.
+    config:
+        Optional :class:`~repro.parallel.runtime.ParallelConfig` for the
+        supervision knobs and fault plan.
     """
 
-    def __init__(self, table: ShardedEdgeHashTable, workers: int, *, capacity: int) -> None:
+    def __init__(
+        self,
+        table: ShardedEdgeHashTable,
+        workers: int,
+        *,
+        capacity: int,
+        config: ParallelConfig | None = None,
+    ) -> None:
         capacity = max(1, int(capacity))
         keys_buf = SharedArray((capacity,), np.int64)
-        flags_buf = SharedArray((capacity,), np.uint8)
-        super().__init__(
-            workers,
-            _bind0=(table.descriptor(), keys_buf.descriptor, flags_buf.descriptor),
-        )
-        self._table = table
-        self._keys_buf = keys_buf
-        self._flags_buf = flags_buf
+        try:
+            flags_buf = SharedArray((capacity,), np.uint8)
+        except BaseException:
+            keys_buf.close()
+            raise
+        try:
+            super().__init__(
+                workers, config=config, _bind=(table, keys_buf, flags_buf)
+            )
+        except BaseException:
+            keys_buf.close()
+            flags_buf.close()
+            raise
         self._own_buffers = True

@@ -69,6 +69,23 @@ class ParallelConfig:
         the reproducible partitioning (chunk seeds, shard geometry),
         while ``processes`` only decides how many OS processes execute
         it — results are identical for any value.
+    max_worker_restarts:
+        Fault-tolerance budget of the process backend's supervised pool:
+        how many dead or hung workers may be respawned (with their batch
+        rolled back and deterministically replayed) before the run
+        degrades to the bitwise-identical vectorized backend.
+    batch_deadline:
+        Optional per-batch wall-clock deadline in seconds for the
+        supervised pool.  A batch exceeding it marks its workers as hung;
+        they are SIGKILLed and recovered like dead workers.  ``None``
+        (default) disables the deadline (worker *death* is still
+        detected by the liveness probe).  Set it well above the
+        worst-case batch time for the workload.
+    faults:
+        Deterministic fault-injection plan for tests and drills (see
+        :mod:`repro.parallel.faultinject`); empty string (default) means
+        the plan comes from the ``REPRO_FAULTS`` environment variable,
+        if set.  Production runs leave both unset.
     """
 
     threads: int = 16
@@ -76,6 +93,9 @@ class ParallelConfig:
     seed: object = None
     shards: int = 0
     processes: int = 0
+    max_worker_restarts: int = 2
+    batch_deadline: float | None = None
+    faults: str = ""
 
     def __post_init__(self) -> None:
         if self.threads < 1:
@@ -88,6 +108,14 @@ class ParallelConfig:
             raise ValueError(f"shards must be >= 0, got {self.shards}")
         if self.processes < 0:
             raise ValueError(f"processes must be >= 0, got {self.processes}")
+        if self.max_worker_restarts < 0:
+            raise ValueError(
+                f"max_worker_restarts must be >= 0, got {self.max_worker_restarts}"
+            )
+        if self.batch_deadline is not None and self.batch_deadline <= 0:
+            raise ValueError(
+                f"batch_deadline must be positive or None, got {self.batch_deadline}"
+            )
 
     def generator(self) -> np.random.Generator:
         """A single generator derived from :attr:`seed`."""

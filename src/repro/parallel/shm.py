@@ -19,15 +19,30 @@ numpy array and handles the three lifecycle problems that make raw
   garbage-collection or interpreter exit, *gated on the creator's pid* so
   a forked child inheriting the object never unlinks the parent's
   memory.
+
+Finalizers cannot run in a process that is SIGKILLed or OOM-killed, so a
+fourth mechanism covers abnormal exits: every segment is created under a
+``repro_<owner-pid>_…`` name, every :class:`PipelineArena` additionally
+writes a pidfile-stamped manifest of its segments, and
+:func:`reap_stale` unlinks segments whose owning process is gone.  The
+reaper runs at worker-pool startup and from the bench CLI, so a crashed
+run's ``/dev/shm`` debt is collected by the next run instead of
+accumulating until reboot.
 """
 
 from __future__ import annotations
 
+import itertools
+import json
 import os
+import secrets
+import tempfile
 import weakref
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.parallel import faultinject
 
 try:  # pragma: no cover - present on every supported platform
     from multiprocessing import shared_memory
@@ -37,7 +52,38 @@ except ImportError:  # pragma: no cover
     shared_memory = None
     HAVE_SHM = False
 
-__all__ = ["ShmDescriptor", "SharedArray", "PipelineArena", "HAVE_SHM"]
+__all__ = [
+    "ShmDescriptor",
+    "SharedArray",
+    "PipelineArena",
+    "HAVE_SHM",
+    "reap_stale",
+]
+
+#: Prefix of every segment this library creates; the reaper only ever
+#: touches names carrying it.
+SEGMENT_PREFIX = "repro_"
+
+_SEGMENT_SEQ = itertools.count()
+_MANIFEST_SEQ = itertools.count()
+
+
+def _create_segment(size: int):
+    """Create a segment named ``repro_<pid>_<seq>_<suffix>``.
+
+    Embedding the owner pid in the name is what lets :func:`reap_stale`
+    decide staleness without a manifest; the sequence + random suffix
+    keeps names unique within and across processes.
+    """
+    pid = os.getpid()
+    for _ in range(8):
+        name = f"{SEGMENT_PREFIX}{pid}_{next(_SEGMENT_SEQ)}_{secrets.token_hex(2)}"
+        try:
+            return shared_memory.SharedMemory(create=True, size=size, name=name)
+        except FileExistsError:  # pragma: no cover - astronomically unlikely
+            continue
+    # pragma: no cover - give up on stamped names, let the OS pick one
+    return shared_memory.SharedMemory(create=True, size=size)
 
 
 @dataclass(frozen=True)
@@ -82,7 +128,9 @@ class SharedArray:
         dtype = np.dtype(dtype)
         nbytes = int(dtype.itemsize * int(np.prod(shape, dtype=np.int64)))
         if _shm is None:
-            _shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+            if faultinject.consume_shm_fault():
+                raise OSError("injected shared-memory failure (fault plan)")
+            _shm = _create_segment(max(nbytes, 1))
         self._shm = _shm
         self._owner = bool(_owner)
         self.shape = shape
@@ -107,6 +155,8 @@ class SharedArray:
         is idempotent and the owner's eventual ``unlink`` performs the
         single deregistration; no bpo-38119 workaround is required.
         """
+        if faultinject.consume_shm_fault():
+            raise OSError("injected shared-memory failure (fault plan)")
         shm = shared_memory.SharedMemory(name=desc.name)
         return cls(desc.shape, desc.dtype, _shm=shm, _owner=False)
 
@@ -151,6 +201,7 @@ class PipelineArena:
         self._arrays: dict[str, SharedArray] = {}
         self._owner = True
         self._closed = False
+        self._manifest_path: str | None = None
 
     # -- allocation / access ---------------------------------------------
 
@@ -166,6 +217,7 @@ class PipelineArena:
         if fill is not None:
             arr.array.fill(fill)
         self._arrays[name] = arr
+        self._write_manifest()
         return arr
 
     def adopt(self, name: str, arr: SharedArray) -> SharedArray:
@@ -173,7 +225,32 @@ class PipelineArena:
         if name in self._arrays:
             raise ValueError(f"arena already holds an array named {name!r}")
         self._arrays[name] = arr
+        self._write_manifest()
         return arr
+
+    def _write_manifest(self) -> None:
+        """Record this arena's segments in a pidfile-stamped manifest.
+
+        Best-effort: a read-only or full temp filesystem must not break
+        the pipeline (the pid embedded in the segment names still lets
+        :func:`reap_stale` collect them).
+        """
+        if not self._owner:
+            return
+        try:
+            if self._manifest_path is None:
+                self._manifest_path = os.path.join(
+                    _manifest_dir(),
+                    f"repro-shm-{os.getpid()}-{next(_MANIFEST_SEQ)}.json",
+                )
+            payload = {
+                "pid": os.getpid(),
+                "segments": [a.descriptor.name for a in self._arrays.values()],
+            }
+            with open(self._manifest_path, "w") as fh:
+                json.dump(payload, fh)
+        except OSError:  # pragma: no cover - manifest is best-effort
+            self._manifest_path = None
 
     def __getitem__(self, name: str) -> np.ndarray:
         """The numpy view of a named segment."""
@@ -211,6 +288,12 @@ class PipelineArena:
         for arr in self._arrays.values():
             arr.close()
         self._arrays.clear()
+        if self._manifest_path is not None:
+            try:
+                os.unlink(self._manifest_path)
+            except OSError:  # pragma: no cover - already collected
+                pass
+            self._manifest_path = None
 
     def __enter__(self) -> "PipelineArena":
         return self
@@ -221,3 +304,115 @@ class PipelineArena:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         role = "owner" if self._owner else "attached"
         return f"PipelineArena({len(self._arrays)} arrays, {role})"
+
+
+# -- stale-segment reaping -------------------------------------------------
+
+
+def _manifest_dir() -> str:
+    """Directory holding arena manifests (created on first use)."""
+    d = os.environ.get("REPRO_SHM_MANIFEST_DIR") or os.path.join(
+        tempfile.gettempdir(), "repro-shm"
+    )
+    os.makedirs(d, exist_ok=True)
+    return d
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid currently exists."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    return True
+
+
+def _unlink_segment(name: str) -> bool:
+    """Unlink one named segment; True if this call removed it.
+
+    Goes through ``SharedMemory`` attach + unlink rather than deleting
+    the ``/dev/shm`` file directly so the resource tracker's registry is
+    updated and the interpreter does not warn about leaked segments at
+    exit.
+    """
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError, ValueError):
+        return False
+    try:
+        seg.close()
+    except OSError:  # pragma: no cover
+        pass
+    try:
+        seg.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - racing reaper
+        return False
+    return True
+
+
+def reap_stale(*, manifest_dir: str | None = None) -> list[str]:
+    """Unlink shared-memory segments whose owning process is gone.
+
+    Two sweeps, both restricted to this library's artifacts:
+
+    1. **manifests** — every ``repro-shm-<pid>-*.json`` arena manifest
+       whose stamped pid is dead has its listed segments unlinked and the
+       manifest removed;
+    2. **name scan** — on hosts exposing ``/dev/shm``, every segment file
+       named ``repro_<pid>_…`` with a dead owner pid is unlinked (covers
+       segments created outside an arena: swap exchange buffers,
+       standalone tables, replay journals).
+
+    Returns the names of the segments actually removed.  Safe to run
+    concurrently with live pipelines (live owners are skipped) and with
+    other reapers (races resolve to one winner).  Wired into worker-pool
+    startup and the bench CLI so crashed runs are collected
+    automatically.
+    """
+    if not HAVE_SHM:
+        return []
+    reaped: list[str] = []
+    try:
+        mdir = manifest_dir or _manifest_dir()
+    except OSError:  # pragma: no cover - unusable temp dir
+        mdir = None
+    if mdir and os.path.isdir(mdir):
+        for fn in sorted(os.listdir(mdir)):
+            if not (fn.startswith("repro-shm-") and fn.endswith(".json")):
+                continue
+            path = os.path.join(mdir, fn)
+            try:
+                with open(path) as fh:
+                    data = json.load(fh)
+                pid = int(data.get("pid", -1))
+                segments = list(data.get("segments", ()))
+            except (OSError, ValueError, TypeError):
+                continue  # torn write or foreign file: leave it alone
+            if _pid_alive(pid):
+                continue
+            for name in segments:
+                if name.startswith(SEGMENT_PREFIX) and _unlink_segment(name):
+                    reaped.append(name)
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - racing reaper
+                pass
+    shm_root = "/dev/shm"
+    if os.path.isdir(shm_root):
+        for fn in sorted(os.listdir(shm_root)):
+            if not fn.startswith(SEGMENT_PREFIX):
+                continue
+            parts = fn.split("_")
+            try:
+                pid = int(parts[1])
+            except (IndexError, ValueError):
+                continue
+            if _pid_alive(pid):
+                continue
+            if _unlink_segment(fn):
+                reaped.append(fn)
+    return reaped

@@ -142,21 +142,48 @@ class TestSwapWorkerPool:
             with pytest.raises(RuntimeError, match="bind"):
                 pool.test_and_set(np.asarray([1], dtype=np.int64))
 
-    def test_dead_worker_raises_instead_of_hanging(self):
-        """A SIGKILLed worker must surface as RuntimeError, not a deadlock
-        on the completion barrier (regression: SimpleQueue.get blocked
-        forever when a worker died without replying)."""
+    def test_dead_worker_recovered_by_supervisor(self):
+        """A SIGKILLed worker must be respawned and its batch replayed —
+        neither a deadlock on the completion barrier (regression:
+        SimpleQueue.get blocked forever when a worker died without
+        replying) nor a torn-down pool (pre-supervision behavior)."""
         import os
         import signal
 
         table, pool = self._make(workers=2)
-        with table:
+        with table, pool:
             keys = np.arange(100, dtype=np.int64)
-            pool.test_and_set(keys)  # workers proven alive
+            assert not pool.test_and_set(keys).any()  # workers proven alive
             os.kill(pool._procs[0].pid, signal.SIGKILL)
             pool._procs[0].join(timeout=5)
-            with pytest.raises(RuntimeError, match="died"):
+            # next batch: the supervisor respawns worker 0 and replays
+            assert pool.test_and_set(keys).all()
+            assert not pool.test_and_set(keys + 10_000).any()
+            assert [f.kind for f in pool.faults] == ["died"]
+
+    def test_restart_budget_exhaustion_reports_batches(self):
+        """With a zero restart budget a dead worker raises PoolFaultError
+        naming the completed vs. lost batch indices of the submission."""
+        import os
+        import signal
+
+        from repro.parallel.hashtable import ShardedEdgeHashTable
+        from repro.parallel.mp_backend import PoolFaultError, SwapWorkerPool
+
+        table = ShardedEdgeHashTable(2048, workers_hint=2)
+        cfg = ParallelConfig(threads=2, backend="process", max_worker_restarts=0)
+        pool = SwapWorkerPool(table, 2, capacity=2048, config=cfg)
+        with table:
+            keys = np.arange(100, dtype=np.int64)
+            pool.test_and_set(keys)
+            os.kill(pool._procs[0].pid, signal.SIGKILL)
+            pool._procs[0].join(timeout=5)
+            with pytest.raises(PoolFaultError) as exc_info:
                 pool.test_and_set(keys + 1000)
+            err = exc_info.value
+            assert err.lost  # the dead worker's batch is reported lost
+            assert set(err.completed).isdisjoint(err.lost)
+            assert err.faults and err.faults[-1].kind == "died"
             pool.close()  # idempotent after internal teardown
 
 

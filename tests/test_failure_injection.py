@@ -113,6 +113,43 @@ class TestProcessBackendFailures:
         with pytest.raises(Exception):
             process_chunk_map(_raising_kernel, 10, cfg)
 
+    def test_swap_degrades_when_shared_memory_unavailable(self, monkeypatch):
+        from repro.core.swap import SwapStats
+        from repro.parallel import shm
+
+        g = EdgeList(np.arange(60), (np.arange(60) + 1) % 60)
+        expect = swap_edges(g, 4, ParallelConfig(seed=9, backend="vectorized"))
+
+        monkeypatch.setattr(shm, "HAVE_SHM", False)
+        stats = SwapStats()
+        out = swap_edges(
+            g, 4, ParallelConfig(seed=9, threads=2, backend="process"), stats=stats
+        )
+        np.testing.assert_array_equal(out.u, expect.u)
+        np.testing.assert_array_equal(out.v, expect.v)
+        assert stats.degraded
+        assert [f.kind for f in stats.faults] == ["unavailable"]
+
+    def test_generation_degrades_when_shared_memory_unavailable(self, monkeypatch):
+        from repro import generate_graph
+        from repro.parallel import shm
+
+        d = DegreeDistribution([1, 2, 4], [30, 14, 6])
+        cfg = dict(seed=13, threads=2, processes=2, backend="process")
+        expect, base = generate_graph(
+            d, swap_iterations=3, config=ParallelConfig(**cfg)
+        )
+        assert base.fused and not base.degraded
+
+        monkeypatch.setattr(shm, "HAVE_SHM", False)
+        out, report = generate_graph(
+            d, swap_iterations=3, config=ParallelConfig(**cfg)
+        )
+        np.testing.assert_array_equal(out.u, expect.u)
+        np.testing.assert_array_equal(out.v, expect.v)
+        assert report.degraded and not report.fused
+        assert [f.kind for f in report.faults] == ["unavailable", "unavailable"]
+
 
 def _raising_kernel(lo, hi, seed):
     raise RuntimeError("injected failure")
