@@ -29,19 +29,26 @@ Public surface:
   permutation, prefix sums, cost model).
 """
 
-from repro.graph.degree import DegreeDistribution
-from repro.graph.edgelist import EdgeList
+from repro.graph.degree import DegreeDistribution, NonGraphicalError
+from repro.graph.edgelist import EdgeList, EdgeListFormatError
 from repro.parallel.runtime import ParallelConfig
 from repro.core.generate import generate_graph, GenerationReport
 from repro.core.swap import swap_edges, SwapStats
 from repro.core.probabilities import generate_probabilities, ProbabilityResult
 from repro.core.edge_skip import generate_edges
+from repro.core.checkpoint import (
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointStore,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DegreeDistribution",
+    "NonGraphicalError",
     "EdgeList",
+    "EdgeListFormatError",
     "ParallelConfig",
     "generate_graph",
     "GenerationReport",
@@ -50,5 +57,8 @@ __all__ = [
     "generate_probabilities",
     "ProbabilityResult",
     "generate_edges",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointStore",
     "__version__",
 ]

@@ -71,6 +71,7 @@ EXPERIMENTS = {
     "corrections": experiments.corrections_experiment,
     "distributed": experiments.distributed_experiment,
     "mixing": experiments.mixing_experiment,
+    "durable": experiments.durable,
 }
 
 
@@ -87,7 +88,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write each experiment's rendered table (and chart) to DIR/<name>.txt",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="write crash-consistent snapshots of the 'durable' experiment to DIR",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the 'durable' experiment from the snapshots in --checkpoint-dir",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
 
     # collect shared-memory segments stranded by earlier crashed runs
     # before the process-backend experiments allocate fresh ones
@@ -102,6 +115,21 @@ def main(argv: list[str] | None = None) -> int:
             )
     except Exception:
         pass
+    # same discipline for checkpoint artifacts: collect dead writers' tmp
+    # files and finished runs' stores — but never while resuming, when a
+    # finished store is exactly what the short-circuit path wants
+    if args.checkpoint_dir and not args.resume:
+        try:
+            from repro.core.checkpoint import reap_stale_checkpoints
+
+            reaped = reap_stale_checkpoints(args.checkpoint_dir)
+            if reaped:
+                print(
+                    f"reaped {len(reaped)} stale checkpoint artifact(s)",
+                    file=sys.stderr,
+                )
+        except Exception:
+            pass
 
     if args.list:
         for name, fn in EXPERIMENTS.items():
@@ -123,7 +151,12 @@ def main(argv: list[str] | None = None) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
 
     for name in names:
-        result = EXPERIMENTS[name]()
+        if name == "durable" and args.checkpoint_dir:
+            result = EXPERIMENTS[name](
+                checkpoint_dir=args.checkpoint_dir, resume=args.resume
+            )
+        else:
+            result = EXPERIMENTS[name]()
         text = result.render()
         chart = _chart(name, result)
         print(text)

@@ -60,6 +60,7 @@ __all__ = [
     "corrections_experiment",
     "distributed_experiment",
     "mixing_experiment",
+    "durable",
     "SKEWED_DATASETS",
     "ALL_DATASETS",
 ]
@@ -595,4 +596,63 @@ def mixing_experiment(
     result.add("acceptance_rate", stats.acceptance_rate)
     result.add("assortativity_IACT", tau)
     result.add("gelman_rubin_r_hat", float(r_hat))
+    return result
+
+
+def durable(
+    dataset: str = "as20",
+    *,
+    swap_iterations: int = 6,
+    checkpoint_every: int = 2,
+    threads: int = 4,
+    seed: int = 11,
+    checkpoint_dir=None,
+    resume: bool = False,
+    scale: float | None = None,
+) -> ExperimentResult:
+    """Durable generation: checkpointed end-to-end run, optionally resumed.
+
+    Drives :func:`~repro.core.generate.generate_graph` with a checkpoint
+    store (``repro-experiments durable --checkpoint-dir DIR``); with
+    ``--resume`` the run re-enters from the newest snapshot in that
+    directory instead of starting over — after a crash (or a deliberate
+    SIGKILL, as in the CI resume drill) the continuation is
+    bitwise-identical to an uninterrupted run.
+    """
+    import tempfile
+
+    config = _config(seed, threads)
+    dist = SPECS[dataset].synthesize(scale)
+    tmp = None
+    if checkpoint_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+        checkpoint_dir = tmp.name
+    try:
+        with Timer() as t:
+            graph, report = generate_graph(
+                dist,
+                swap_iterations=swap_iterations,
+                config=config,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                resume_from=checkpoint_dir if resume else None,
+            )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    digest = __import__("hashlib").sha256(
+        graph.u.tobytes() + graph.v.tobytes()
+    ).hexdigest()
+    result = ExperimentResult(
+        name="durable",
+        description=f"checkpointed generation run ({dataset} twin)",
+        columns=["metric", "value"],
+    )
+    result.add("edges", int(graph.m))
+    result.add("swap_iterations", int(report.swap_stats.iterations))
+    result.add("resumed", bool(report.resumed))
+    result.add("degraded", bool(report.degraded))
+    result.add("wall_seconds", float(t.seconds))
+    result.add("edge_digest", digest[:16])
+    result.series = {"digest": digest, "report": report}
     return result

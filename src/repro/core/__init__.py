@@ -4,6 +4,14 @@ from repro.core.probabilities import generate_probabilities, ProbabilityResult
 from repro.core.edge_skip import generate_edges, skip_positions
 from repro.core.swap import swap_edges, SwapStats, serial_swap_chain
 from repro.core.generate import generate_graph, GenerationReport
+from repro.core.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointStore,
+    reap_stale_checkpoints,
+    run_fingerprint,
+)
 from repro.core.mixing import (
     l1_probability_error,
     average_attachment_matrix,
@@ -31,6 +39,12 @@ __all__ = [
     "serial_swap_chain",
     "generate_graph",
     "GenerationReport",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointStore",
+    "reap_stale_checkpoints",
+    "run_fingerprint",
     "l1_probability_error",
     "average_attachment_matrix",
     "hub_attachment_curve",

@@ -1,0 +1,428 @@
+"""Crash-consistent checkpoint/resume for long swap chains and pipelines.
+
+The paper's experiments mix for ``Km`` swap attempts over graphs with
+hundreds of millions of edges — exactly the runs that a parent-process
+crash (OOM kill, preemption, ctrl-C) should not send back to square one.
+This module turns the swap engine and the generation pipeline into
+*durable* runs: the driver periodically writes a snapshot of everything
+needed to continue — the current edge arrays, the swap RNG stream state,
+the accumulated statistics, and the phase cursor — and a restarted
+driver replays nothing, resuming **bitwise-identically** to an
+uninterrupted run with the same seed.
+
+Snapshots are taken only at *reconstructible* boundaries:
+
+- ``swap_edges`` snapshots at permutation-round boundaries, where the
+  concurrent hash table is a pure function of the edge array (every
+  iteration begins with ``clear()`` + re-registration), so no
+  shared-memory state ever needs serializing;
+- ``generate_graph`` additionally snapshots at phase boundaries
+  (probabilities → edges → swap) and marks the run ``done`` at the end.
+
+Crash consistency is the tmp-file + ``os.replace`` discipline used by
+write-ahead logs everywhere: the array payload is written to a
+pid-stamped temporary, fsynced, renamed; only then is the versioned JSON
+manifest (run fingerprint, phase, swap-round cursor, payload SHA-256)
+written the same way.  A reader accepts a snapshot only if its manifest
+parses, its format version matches, and the payload's checksum verifies
+— a snapshot truncated at *any* byte is detected and the previous
+snapshot is used instead (the store retains the last few).
+
+Stale artifacts are collected with the same pid-stamping pattern as
+:func:`repro.parallel.shm.reap_stale`: temporaries name their writer's
+pid and are removed once that pid is gone, and stores whose run reached
+``done`` under a now-dead owner are reaped wholesale by
+:func:`reap_stale_checkpoints` (wired into the bench CLI).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import secrets
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.parallel import faultinject
+from repro.parallel.shm import _pid_alive
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "Checkpoint",
+    "CheckpointStore",
+    "run_fingerprint",
+    "reap_stale_checkpoints",
+]
+
+#: On-disk snapshot format version; bumped on incompatible layout changes.
+FORMAT_VERSION = 1
+
+#: Phases a snapshot may record, in pipeline order.
+PHASES = ("probabilities", "edges", "swap", "done")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written or read."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A valid snapshot exists but belongs to a different run.
+
+    Raised when the newest *readable* snapshot's fingerprint does not
+    match the resuming run's — continuing would silently mix two
+    different (seed, input, config) runs.
+    """
+
+
+def run_fingerprint(**fields) -> str:
+    """Digest identifying a run for resume-compatibility checks.
+
+    Callers pass the fields that pin down the run's *output* — input
+    digest, seed, logical thread count, iteration budget, null-model
+    space — and get a stable hex digest.  Execution details that do not
+    change the output (backend, OS process count, shard count, fault
+    plans) must be left out: resuming a ``process``-backend checkpoint on
+    the ``vectorized`` backend is explicitly supported, because all
+    backends are bitwise-identical.
+    """
+    payload = json.dumps(
+        {k: fields[k] for k in sorted(fields)},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class Checkpoint:
+    """One decoded snapshot: the phase cursor plus its saved state.
+
+    ``arrays`` holds the numpy payload (edge endpoint arrays, the
+    swapped-at-least-once mask, probability matrices — whatever the
+    phase recorded); ``meta`` holds the JSON-safe state (RNG stream
+    state, accumulated statistics, per-phase wall seconds).
+    """
+
+    phase: str
+    swap_round: int
+    fingerprint: str
+    seq: int
+    arrays: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+
+def _fsync_dir(path: str) -> None:
+    """Flush directory metadata so a rename survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. O_RDONLY dirs on odd fs
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def _tmp_name(directory: Path, suffix: str) -> Path:
+    """A pid-stamped temporary path (``.tmp-<pid>-<hex><suffix>``)."""
+    return directory / f".tmp-{os.getpid()}-{secrets.token_hex(4)}{suffix}"
+
+
+def _atomic_write(directory: Path, final: Path, data: bytes) -> None:
+    """Write ``data`` to ``final`` via tmp-file + fsync + rename."""
+    tmp = _tmp_name(directory, final.suffix)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    except OSError as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise CheckpointError(f"cannot write checkpoint {final}: {exc}") from exc
+    _fsync_dir(str(directory))
+
+
+class CheckpointStore:
+    """A directory of crash-consistent snapshots for one run.
+
+    Snapshots are numbered ``snap-<seq>.npz`` (array payload) +
+    ``snap-<seq>.json`` (manifest).  :meth:`save` is atomic — a crash at
+    any byte leaves either the previous snapshot set or a complete new
+    one, never a half-readable state — and prunes all but the newest
+    ``keep`` snapshots.  :meth:`load_latest` walks snapshots newest
+    first, skipping any whose manifest or payload fails validation, so a
+    torn write transparently falls back to the previous snapshot.
+
+    Parameters
+    ----------
+    directory:
+        Snapshot directory (created on first use).  One run per
+        directory; reusing a directory across *different* runs is caught
+        by the fingerprint check at resume time.
+    keep:
+        Number of most-recent snapshots retained (≥ 2 so the
+        corruption fallback always has somewhere to land).
+    """
+
+    def __init__(self, directory, *, keep: int = 3) -> None:
+        self._dir = Path(directory)
+        self._keep = max(2, int(keep))
+        self._seq: int | None = None
+
+    @property
+    def directory(self) -> Path:
+        """The snapshot directory."""
+        return self._dir
+
+    # -- write -----------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        if self._seq is None:
+            self._seq = max(
+                (s for s, _ in self._manifests()),
+                default=-1,
+            )
+        self._seq += 1
+        return self._seq
+
+    def save(
+        self,
+        phase: str,
+        *,
+        swap_round: int = 0,
+        arrays: dict | None = None,
+        meta: dict | None = None,
+        fingerprint: str = "",
+    ) -> int:
+        """Write one snapshot durably; returns its sequence number.
+
+        The payload ``.npz`` is renamed into place before the manifest,
+        so a manifest on disk always refers to a fully written payload;
+        the manifest carries the payload's SHA-256, so truncation of
+        *either* file is detected at load time.  After the snapshot is
+        durable the parent-kill fault hook fires (``parentkill`` plans —
+        see :mod:`repro.parallel.faultinject` — SIGKILL the driver here
+        to drill resume).
+        """
+        if phase not in PHASES:
+            raise ValueError(f"phase must be one of {PHASES}, got {phase!r}")
+        self._dir.mkdir(parents=True, exist_ok=True)
+        seq = self._next_seq()
+        buf = io.BytesIO()
+        np.savez(buf, **{k: np.asarray(v) for k, v in (arrays or {}).items()})
+        payload = buf.getvalue()
+        payload_name = f"snap-{seq:08d}.npz"
+        _atomic_write(self._dir, self._dir / payload_name, payload)
+        manifest = {
+            "version": FORMAT_VERSION,
+            "seq": seq,
+            "pid": os.getpid(),
+            "phase": phase,
+            "swap_round": int(swap_round),
+            "fingerprint": fingerprint,
+            "payload": payload_name,
+            "payload_bytes": len(payload),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "meta": meta or {},
+        }
+        _atomic_write(
+            self._dir,
+            self._dir / f"snap-{seq:08d}.json",
+            json.dumps(manifest).encode(),
+        )
+        self._prune()
+        faultinject.fire_parent("checkpoint")
+        return seq
+
+    def _prune(self) -> None:
+        """Drop all but the newest ``keep`` snapshots (best-effort)."""
+        seqs = sorted((s for s, _ in self._manifests()), reverse=True)
+        for seq in seqs[self._keep :]:
+            for suffix in (".json", ".npz"):
+                try:
+                    os.unlink(self._dir / f"snap-{seq:08d}{suffix}")
+                except OSError:  # pragma: no cover - racing reaper
+                    pass
+
+    # -- read ------------------------------------------------------------
+
+    def _manifests(self) -> list[tuple[int, Path]]:
+        """``(seq, path)`` of every manifest file, unvalidated."""
+        out = []
+        try:
+            names = os.listdir(self._dir)
+        except OSError:
+            return []
+        for fn in names:
+            if fn.startswith("snap-") and fn.endswith(".json"):
+                try:
+                    out.append((int(fn[5:-5]), self._dir / fn))
+                except ValueError:
+                    continue
+        return out
+
+    def _decode(self, seq: int, path: Path) -> Checkpoint | None:
+        """Validate and decode one snapshot; ``None`` if unusable."""
+        try:
+            with open(path, "rb") as fh:
+                manifest = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(manifest, dict):
+            return None
+        if manifest.get("version") != FORMAT_VERSION:
+            return None
+        payload_path = self._dir / str(manifest.get("payload", ""))
+        try:
+            data = payload_path.read_bytes()
+        except OSError:
+            return None
+        if len(data) != manifest.get("payload_bytes"):
+            return None
+        if hashlib.sha256(data).hexdigest() != manifest.get("sha256"):
+            return None
+        try:
+            with np.load(io.BytesIO(data)) as npz:
+                arrays = {k: np.array(npz[k]) for k in npz.files}
+        except (OSError, ValueError):
+            return None
+        return Checkpoint(
+            phase=str(manifest.get("phase", "")),
+            swap_round=int(manifest.get("swap_round", 0)),
+            fingerprint=str(manifest.get("fingerprint", "")),
+            seq=seq,
+            arrays=arrays,
+            meta=manifest.get("meta", {}) or {},
+        )
+
+    def load_latest(self, fingerprint: str | None = None) -> Checkpoint | None:
+        """Newest snapshot that passes validation, or ``None``.
+
+        Corrupt or truncated snapshots are skipped silently (the atomic
+        write discipline means at most the newest can be torn).  If
+        ``fingerprint`` is given and the newest *valid* snapshot carries
+        a different one, :class:`CheckpointMismatchError` is raised —
+        falling back to an older snapshot would not fix a wrong-run
+        directory, and resuming it would corrupt the output.
+        """
+        for seq, path in sorted(self._manifests(), reverse=True):
+            snap = self._decode(seq, path)
+            if snap is None:
+                continue
+            if fingerprint is not None and snap.fingerprint != fingerprint:
+                raise CheckpointMismatchError(
+                    f"checkpoint {path} belongs to a different run "
+                    f"(fingerprint {snap.fingerprint[:12]}… != {fingerprint[:12]}…); "
+                    "refusing to resume"
+                )
+            return snap
+        return None
+
+    def clear(self) -> None:
+        """Remove every snapshot file in the store (the directory stays)."""
+        for seq, _ in self._manifests():
+            for suffix in (".json", ".npz"):
+                try:
+                    os.unlink(self._dir / f"snap-{seq:08d}{suffix}")
+                except OSError:  # pragma: no cover
+                    pass
+        self._seq = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CheckpointStore({self._dir})"
+
+
+def as_store(source) -> CheckpointStore | None:
+    """Coerce ``None`` / path / :class:`CheckpointStore` to a store."""
+    if source is None or isinstance(source, CheckpointStore):
+        return source
+    return CheckpointStore(source)
+
+
+def reap_stale_checkpoints(root) -> list[str]:
+    """Collect checkpoint artifacts whose owning run is over.
+
+    The pid-stamping pattern of :func:`repro.parallel.shm.reap_stale`
+    applied to the checkpoint tree rooted at ``root`` (a store directory
+    or a directory of store directories):
+
+    1. **temporaries** — ``.tmp-<pid>-*`` files whose writer pid is dead
+       are half-written snapshots that will never be renamed; unlink.
+    2. **finished runs** — a store whose newest valid snapshot is
+       ``done`` and was stamped by a now-dead pid has delivered its
+       result; its snapshots are removed (and the directory, if empty).
+
+    Live runs are never touched: an alive stamped pid, or any phase
+    short of ``done``, keeps the store intact — that is precisely the
+    state a crashed run resumes from.  Returns the removed paths.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    removed: list[str] = []
+    dirs = [root] + [p for p in root.iterdir() if p.is_dir()]
+    for d in dirs:
+        try:
+            names = sorted(os.listdir(d))
+        except OSError:  # pragma: no cover - racing removal
+            continue
+        for fn in names:
+            if not fn.startswith(".tmp-"):
+                continue
+            parts = fn.split("-")
+            try:
+                pid = int(parts[1])
+            except (IndexError, ValueError):
+                continue
+            if _pid_alive(pid):
+                continue
+            try:
+                os.unlink(d / fn)
+                removed.append(str(d / fn))
+            except OSError:  # pragma: no cover - racing reaper
+                pass
+        store = CheckpointStore(d)
+        manifests = store._manifests()
+        if not manifests:
+            continue
+        newest = None
+        for seq, path in sorted(manifests, reverse=True):
+            newest = store._decode(seq, path)
+            if newest is not None:
+                break
+        if newest is None or newest.phase != "done":
+            continue
+        try:
+            with open(d / f"snap-{newest.seq:08d}.json", "rb") as fh:
+                pid = int(json.load(fh).get("pid", -1))
+        except (OSError, ValueError, TypeError):  # pragma: no cover
+            continue
+        if _pid_alive(pid):
+            continue
+        for seq, _ in manifests:
+            for suffix in (".json", ".npz"):
+                target = d / f"snap-{seq:08d}{suffix}"
+                try:
+                    os.unlink(target)
+                    removed.append(str(target))
+                except OSError:  # pragma: no cover - racing reaper
+                    pass
+        if d != root:
+            try:
+                d.rmdir()
+            except OSError:  # pragma: no cover - leftover foreign files
+                pass
+    return removed

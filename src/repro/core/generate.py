@@ -29,24 +29,63 @@ work/span cost model (scaling studies), and the swap statistics
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.core.checkpoint import as_store, run_fingerprint
 from repro.core.edge_skip import fused_chunk_sample, generate_edges, prepare_spaces
 from repro.core.probabilities import ProbabilityResult, generate_probabilities
-from repro.core.swap import SwapStats, fused_swap_loop, swap_edges
-from repro.graph.degree import DegreeDistribution
+from repro.core.swap import (
+    SwapStats,
+    _stats_from_meta,
+    _stats_to_meta,
+    _SwapCheckpointer,
+    fused_swap_loop,
+    swap_edges,
+)
+from repro.graph.degree import (
+    DegreeDistribution,
+    NonGraphicalError,
+    graphicality_violation,
+)
 from repro.graph.edgelist import EdgeList
+from repro.parallel import faultinject
 from repro.parallel.cost_model import CostModel
-from repro.parallel.hashtable import ShardedEdgeHashTable, effective_shard_count
+from repro.parallel.hashtable import (
+    ShardedEdgeHashTable,
+    effective_shard_count,
+    estimate_table_nbytes,
+)
 from repro.parallel.mp_backend import PipelineWorkerPool, available_workers
 from repro.parallel.rng import spawn_generators
 from repro.parallel.runtime import ParallelConfig, chunk_bounds
 from repro.parallel.shm import PipelineArena
 
 __all__ = ["GenerationReport", "generate_graph"]
+
+
+def _generation_fingerprint(dist, swap_iterations, config, probability_kwargs) -> str:
+    """Resume-compatibility fingerprint of a :func:`generate_graph` run.
+
+    One fingerprint covers every phase's snapshots: it pins the degree
+    distribution, seed, logical thread count, swap budget, and the
+    probability-heuristic options — but not the backend or process
+    count, so a run checkpointed on one backend resumes on any other.
+    """
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(dist.degrees).tobytes())
+    h.update(np.ascontiguousarray(dist.counts).tobytes())
+    return run_fingerprint(
+        kind="generate",
+        dist_sha256=h.hexdigest(),
+        swap_iterations=int(swap_iterations),
+        seed=repr(config.seed),
+        threads=int(config.threads),
+        probability_kwargs=repr(sorted((probability_kwargs or {}).items())),
+    )
 
 
 @dataclass
@@ -75,6 +114,10 @@ class GenerationReport:
     #: FaultEvent records: every supervised worker recovery, plus the
     #: final degradation trigger when :attr:`degraded` is set
     faults: list = field(default_factory=list)
+    #: this run resumed from a crash-consistent checkpoint (its
+    #: ``phase_seconds``/``cost`` cover only the replayed tail; the edge
+    #: list and swap statistics are those of the full, uninterrupted run)
+    resumed: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -97,6 +140,9 @@ def generate_graph(
     probability_kwargs: dict | None = None,
     callback=None,
     pipeline: bool | None = None,
+    checkpoint_dir=None,
+    checkpoint_every: int = 0,
+    resume_from=None,
 ) -> tuple[EdgeList, GenerationReport]:
     """Generate a simple uniformly random graph from ``{D, N}``.
 
@@ -123,12 +169,56 @@ def generate_graph(
         the two), ``True`` requests fused explicitly.  Other backends
         always run phased; the outputs are bitwise-identical either
         way.
+    checkpoint_dir:
+        Directory (or :class:`~repro.core.checkpoint.CheckpointStore`)
+        receiving crash-consistent snapshots at phase boundaries
+        (probabilities → edges → swap → done) and, with
+        ``checkpoint_every > 0``, every that-many swap iterations.
+    checkpoint_every:
+        Mid-swap snapshot cadence in iterations (0 = phase boundaries
+        only).
+    resume_from:
+        Checkpoint store/directory of an interrupted run with the same
+        inputs and seed; completed phases are skipped and the swap chain
+        re-enters at the snapshotted round.  The resumed output is
+        bitwise-identical to an uninterrupted run; fingerprint
+        mismatches raise
+        :class:`~repro.core.checkpoint.CheckpointMismatchError`.
+
+    Raises
+    ------
+    NonGraphicalError
+        If the degree distribution fails the Erdős–Gallai test — no
+        simple graph realizes it, so the request is rejected at the
+        boundary with the first violated prefix named instead of
+        failing obscurely mid-sampling.
 
     Returns
     -------
     (EdgeList, GenerationReport)
     """
     config = config or ParallelConfig()
+    violation = graphicality_violation(dist.expand())
+    if violation is not None:
+        raise NonGraphicalError(
+            f"degree distribution is not graphical: {violation}"
+        )
+    if checkpoint_every < 0:
+        raise ValueError("checkpoint_every must be >= 0")
+    store = as_store(checkpoint_dir) if checkpoint_dir is not None else None
+    if checkpoint_every and store is None:
+        raise ValueError("checkpoint_every requires checkpoint_dir")
+    fingerprint = ""
+    resume_snap = None
+    if store is not None or resume_from is not None:
+        faultinject.arm_from(config)
+        fingerprint = _generation_fingerprint(
+            dist, swap_iterations, config, probability_kwargs
+        )
+        if resume_from is not None:
+            resume_snap = as_store(resume_from).load_latest(
+                fingerprint=fingerprint
+            )
     cost = CostModel()
     phase_seconds: dict[str, float] = {}
     wall0 = time.perf_counter()
@@ -142,11 +232,47 @@ def generate_graph(
     if cost.phases and cost.phases[-1].name == "probabilities":
         cost.phases[-1].seconds = phase_seconds["probabilities"]
 
+    if resume_snap is not None and resume_snap.phase == "done":
+        # the interrupted run had already finished and snapshotted its
+        # result; hand it back without regenerating anything
+        out = EdgeList(
+            np.ascontiguousarray(resume_snap.arrays["u"], dtype=np.int64),
+            np.ascontiguousarray(resume_snap.arrays["v"], dtype=np.int64),
+            dist.n,
+        )
+        swap_stats = _stats_from_meta(resume_snap.meta.get("stats"))
+        return out, GenerationReport(
+            dist=dist,
+            probabilities=probabilities,
+            swap_stats=swap_stats,
+            cost=cost,
+            phase_seconds=phase_seconds,
+            edges_generated=int(resume_snap.meta.get("edges_generated", out.m)),
+            wall_seconds=time.perf_counter() - wall0,
+            resumed=True,
+        )
+
+    if store is not None and resume_snap is None:
+        # phase snapshots are written only on a fresh run: a resumed run
+        # must never let an earlier-phase snapshot outrank (and prune)
+        # the later-phase one it is resuming from
+        store.save(
+            "probabilities",
+            arrays={"P": probabilities.P},
+            meta={"phase_seconds": dict(phase_seconds)},
+            fingerprint=fingerprint,
+        )
+
     want_fused = pipeline if pipeline is not None else True
+    if resume_snap is not None:
+        # resume always takes the phased composition: it is
+        # bitwise-identical to the fused pipeline, and the phased
+        # swap path owns mid-chain re-entry
+        want_fused = False
     degraded = False
     run_faults: list = []
     if want_fused and config.backend == "process":
-        from repro.parallel import faultinject, shm
+        from repro.parallel import shm
         from repro.parallel.mp_backend import PoolFaultError
 
         faultinject.arm_from(config)
@@ -160,7 +286,8 @@ def generate_graph(
             try:
                 fused = _generate_fused(
                     dist, swap_iterations, config, probabilities, callback,
-                    attempt_cost, attempt_phases,
+                    attempt_cost, attempt_phases, store=store,
+                    checkpoint_every=checkpoint_every, fingerprint=fingerprint,
                 )
             except PoolFaultError as exc:
                 degraded = True
@@ -177,6 +304,17 @@ def generate_graph(
             out, swap_stats, edges_m, pool_faults = fused
             cost.merge(attempt_cost)
             phase_seconds.update(attempt_phases)
+            if store is not None:
+                store.save(
+                    "done",
+                    arrays={"u": out.u, "v": out.v},
+                    meta={
+                        "stats": _stats_to_meta(swap_stats),
+                        "edges_generated": int(edges_m),
+                        "phase_seconds": dict(phase_seconds),
+                    },
+                    fingerprint=fingerprint,
+                )
             return out, GenerationReport(
                 dist=dist,
                 probabilities=probabilities,
@@ -196,12 +334,32 @@ def generate_graph(
         # pool breaks too), which reproduces the fused edge stream bit
         # for bit; swap_edges owns step 2 of the ladder (supervised
         # process pool -> vectorized engine, also bitwise-identical).
+        # Snapshots the failed fused attempt wrote at its boundaries are
+        # durable and correct — continue from the newest instead of
+        # regenerating from scratch.
+        if store is not None:
+            resume_snap = store.load_latest(fingerprint=fingerprint)
 
+    resuming = resume_snap is not None and resume_snap.phase in ("edges", "swap")
     t0 = time.perf_counter()
-    edges = generate_edges(probabilities.P, dist, config, cost=cost)
+    if resuming:
+        edges = EdgeList(
+            np.ascontiguousarray(resume_snap.arrays["u"], dtype=np.int64),
+            np.ascontiguousarray(resume_snap.arrays["v"], dtype=np.int64),
+            dist.n,
+        )
+    else:
+        edges = generate_edges(probabilities.P, dist, config, cost=cost)
     phase_seconds["edge_generation"] = time.perf_counter() - t0
     if cost.phases and cost.phases[-1].name == "edge_generation":
         cost.phases[-1].seconds = phase_seconds["edge_generation"]
+    if store is not None and not resuming:
+        store.save(
+            "edges",
+            arrays={"u": edges.u, "v": edges.v},
+            meta={"phase_seconds": dict(phase_seconds)},
+            fingerprint=fingerprint,
+        )
 
     t0 = time.perf_counter()
     swap_stats = SwapStats()
@@ -212,8 +370,27 @@ def generate_graph(
         stats=swap_stats,
         cost=cost,
         callback=callback,
+        checkpoint_dir=store,
+        checkpoint_every=checkpoint_every,
+        resume_from=(
+            resume_snap
+            if resume_snap is not None and resume_snap.phase == "swap"
+            else None
+        ),
+        _fingerprint=fingerprint or None,
     )
     phase_seconds["swap"] = time.perf_counter() - t0
+    if store is not None:
+        store.save(
+            "done",
+            arrays={"u": out.u, "v": out.v},
+            meta={
+                "stats": _stats_to_meta(swap_stats),
+                "edges_generated": edges.m,
+                "phase_seconds": dict(phase_seconds),
+            },
+            fingerprint=fingerprint,
+        )
 
     report = GenerationReport(
         dist=dist,
@@ -224,6 +401,7 @@ def generate_graph(
         edges_generated=edges.m,
         degraded=degraded or swap_stats.degraded,
         faults=run_faults + list(swap_stats.faults),
+        resumed=resume_snap is not None,
     )
     return out, report
 
@@ -236,6 +414,9 @@ def _generate_fused(
     callback,
     cost: CostModel,
     phase_seconds: dict,
+    store=None,
+    checkpoint_every: int = 0,
+    fingerprint: str = "",
 ) -> tuple[EdgeList, SwapStats, int, list] | None:
     """Fused process-parallel composition of GenerateEdges + SwapEdges.
 
@@ -284,10 +465,25 @@ def _generate_fused(
     chunk_off = np.zeros(len(jobs) + 1, dtype=np.int64)
     np.cumsum(caps, out=chunk_off[1:])
 
+    # /dev/shm capacity preflight: the whole-run footprint is known up
+    # front (generation buffers now, table + exchange buffers later, with
+    # the buffer capacity bounding the edge count), so an undersized
+    # /dev/shm degrades to the phased no-shm composition here — via the
+    # ShmCapacityError(OSError) ladder — instead of dying on ENOSPC
+    # halfway through a run
+    cap_total = int(chunk_off[-1])
+    footprint = cap_total * 24 + len(jobs) * n_owners * 8
+    if swap_iterations > 0:
+        footprint += estimate_table_nbytes(
+            2 * cap_total + 16, config.shards or None, config.threads
+        )
+        footprint += cap_total * 9  # tas key + flag exchange buffers
+
     arena = PipelineArena()
     pool = None
     table = None
     try:
+        arena.preflight(footprint, label="fused pipeline arena")
         gen_edges_buf = arena.allocate("gen_edges", (int(chunk_off[-1]), 2), np.int64)
         gen_keys_buf = arena.allocate("gen_keys", (int(chunk_off[-1]),), np.int64)
         gen_counts_buf = arena.allocate(
@@ -349,6 +545,13 @@ def _generate_fused(
         phase_seconds["edge_generation"] = time.perf_counter() - t0
         if cost.phases and cost.phases[-1].name == "edge_generation":
             cost.phases[-1].seconds = phase_seconds["edge_generation"]
+        if store is not None:
+            store.save(
+                "edges",
+                arrays={"u": u, "v": v},
+                meta={"phase_seconds": dict(phase_seconds)},
+                fingerprint=fingerprint,
+            )
 
         t0 = time.perf_counter()
         swap_stats = SwapStats()
@@ -380,9 +583,15 @@ def _generate_fused(
                         spans[w].append((desc, off, off + kw))
                     off += kw
             pool.insert(spans)
+            ckpt = None
+            if store is not None and checkpoint_every:
+                ckpt = _SwapCheckpointer(
+                    store, checkpoint_every, fingerprint, swap_iterations
+                )
             u, v = fused_swap_loop(
                 u, v, swap_iterations, config, table, pool.test_and_set,
                 n_vertices=dist.n, stats=swap_stats, cost=cost, callback=callback,
+                checkpointer=ckpt,
             )
         phase_seconds["swap"] = time.perf_counter() - t0
         return EdgeList(u, v, dist.n), swap_stats, m, list(pool.faults)

@@ -49,11 +49,18 @@ stationary distribution provably uniform.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.core.checkpoint import (
+    Checkpoint,
+    CheckpointMismatchError,
+    as_store,
+    run_fingerprint,
+)
 from repro.graph.edgelist import EdgeList
 from repro.parallel import faultinject
 from repro.parallel.cost_model import CostModel
@@ -61,6 +68,7 @@ from repro.parallel.faultinject import FaultEvent
 from repro.parallel.hashtable import (
     ConcurrentEdgeHashTable,
     ShardedEdgeHashTable,
+    estimate_table_nbytes,
     pack_edges,
 )
 from repro.parallel.permutation import (
@@ -137,6 +145,194 @@ class SwapStats:
         return self.swapped_fraction_per_iteration[-1]
 
 
+# -- checkpoint/resume plumbing -------------------------------------------
+#
+# Snapshots are taken at iteration boundaries, where the hash table is a
+# pure function of the edge array (every iteration begins with clear +
+# re-registration), so the durable state is exactly: the edge arrays, the
+# swapped-at-least-once mask, the driver RNG stream, and the accumulated
+# statistics.  Restoring those four and re-entering the loop at the saved
+# round reproduces the remaining iterations bit for bit — on any backend,
+# because the TestAndSet verdict stream is backend-invariant.
+
+
+def _stats_to_meta(stats: SwapStats | None) -> dict | None:
+    """JSON-safe snapshot of a :class:`SwapStats` (fault log excluded)."""
+    if stats is None:
+        return None
+    return {
+        "iterations": int(stats.iterations),
+        "proposed": int(stats.proposed),
+        "accepted": int(stats.accepted),
+        "rejected_duplicate": int(stats.rejected_duplicate),
+        "rejected_self_loop": int(stats.rejected_self_loop),
+        "accepted_per_iteration": [int(x) for x in stats.accepted_per_iteration],
+        "swapped_fraction_per_iteration": [
+            float(x) for x in stats.swapped_fraction_per_iteration
+        ],
+        "table_failures": int(stats.table_failures),
+        "table_attempts": int(stats.table_attempts),
+        "permutation_rounds": int(stats.permutation_rounds),
+    }
+
+
+def _stats_from_meta(meta: dict | None) -> SwapStats:
+    """Rebuild a :class:`SwapStats` from :func:`_stats_to_meta` output."""
+    stats = SwapStats()
+    if not meta:
+        return stats
+    stats.iterations = int(meta.get("iterations", 0))
+    stats.proposed = int(meta.get("proposed", 0))
+    stats.accepted = int(meta.get("accepted", 0))
+    stats.rejected_duplicate = int(meta.get("rejected_duplicate", 0))
+    stats.rejected_self_loop = int(meta.get("rejected_self_loop", 0))
+    stats.accepted_per_iteration = [
+        int(x) for x in meta.get("accepted_per_iteration", ())
+    ]
+    stats.swapped_fraction_per_iteration = [
+        float(x) for x in meta.get("swapped_fraction_per_iteration", ())
+    ]
+    stats.table_failures = int(meta.get("table_failures", 0))
+    stats.table_attempts = int(meta.get("table_attempts", 0))
+    stats.permutation_rounds = int(meta.get("permutation_rounds", 0))
+    return stats
+
+
+@dataclass
+class _SwapResume:
+    """Restored mid-chain state: arrays + RNG + stats + round cursor."""
+
+    start_iteration: int
+    u: np.ndarray
+    v: np.ndarray
+    swapped: np.ndarray
+    rng_state: dict
+    stats: SwapStats
+
+
+def _restore_rng(rng: np.random.Generator, state: dict) -> None:
+    """Set ``rng``'s bit-generator stream to a snapshotted state."""
+    name = state.get("bit_generator") if isinstance(state, dict) else None
+    bg = rng.bit_generator
+    if name != type(bg).__name__:
+        raise CheckpointMismatchError(
+            f"checkpoint recorded RNG {name!r} but this run uses "
+            f"{type(bg).__name__!r}"
+        )
+    bg.state = state
+
+
+def _swap_fingerprint(graph, iterations, config, space, probing) -> str:
+    """Resume-compatibility fingerprint of a :func:`swap_edges` run.
+
+    Hashes the input edge list plus every parameter that pins the output
+    bits (seed, logical threads, iteration budget, space, probing) —
+    and nothing that doesn't (backend, process count, shard count), so a
+    checkpoint taken on one backend resumes on any other.
+    """
+    h = hashlib.sha256()
+    h.update(np.int64(graph.n).tobytes())
+    h.update(np.ascontiguousarray(graph.u).tobytes())
+    h.update(np.ascontiguousarray(graph.v).tobytes())
+    return run_fingerprint(
+        kind="swap",
+        edges_sha256=h.hexdigest(),
+        m=int(graph.m),
+        iterations=int(iterations),
+        seed=repr(config.seed),
+        threads=int(config.threads),
+        space=space,
+        probing=probing,
+    )
+
+
+def _load_swap_resume(source, fingerprint: str, m: int) -> _SwapResume | None:
+    """Decode mid-swap state from a snapshot/store; ``None`` = start fresh.
+
+    ``source`` may be a :class:`~repro.core.checkpoint.Checkpoint`
+    already loaded by a caller, a :class:`CheckpointStore`, or a path.
+    Snapshots of earlier phases (``probabilities``/``edges``) yield
+    ``None`` — the chain simply starts at round 0.  A swap snapshot that
+    does not fit the input graph raises
+    :class:`~repro.core.checkpoint.CheckpointMismatchError`.
+    """
+    if isinstance(source, Checkpoint):
+        snap = source
+        if fingerprint and snap.fingerprint != fingerprint:
+            raise CheckpointMismatchError(
+                "checkpoint belongs to a different run; refusing to resume"
+            )
+    else:
+        store = as_store(source)
+        snap = store.load_latest(fingerprint=fingerprint or None)
+    if snap is None or snap.phase != "swap":
+        return None
+    u = snap.arrays.get("u")
+    v = snap.arrays.get("v")
+    swapped = snap.arrays.get("swapped")
+    rng_state = snap.meta.get("rng_state")
+    if u is None or v is None or swapped is None or rng_state is None:
+        raise CheckpointMismatchError("swap snapshot is missing required state")
+    if len(u) != m or len(v) != m or len(swapped) != m:
+        raise CheckpointMismatchError(
+            f"swap snapshot holds {len(u)} edges but the input graph has {m}"
+        )
+    return _SwapResume(
+        start_iteration=int(snap.swap_round),
+        u=np.ascontiguousarray(u, dtype=np.int64),
+        v=np.ascontiguousarray(v, dtype=np.int64),
+        swapped=np.ascontiguousarray(swapped, dtype=bool),
+        rng_state=rng_state,
+        stats=_stats_from_meta(snap.meta.get("stats")),
+    )
+
+
+class _SwapCheckpointer:
+    """Writes iteration-boundary snapshots into a checkpoint store."""
+
+    def __init__(self, store, every: int, fingerprint: str, total: int) -> None:
+        self.store = store
+        self.every = max(int(every), 0)
+        self.fingerprint = fingerprint
+        self.total = int(total)
+
+    def after_round(self, it, u, v, swapped, rng, stats) -> None:
+        """Snapshot after iteration ``it`` when the cadence says so.
+
+        The final round is always snapshotted so a resumed-after-finish
+        run short-circuits; intermediate rounds follow ``every``.
+        """
+        done = it + 1
+        if not self.every:
+            return
+        if done % self.every and done != self.total:
+            return
+        self.store.save(
+            "swap",
+            swap_round=done,
+            arrays={"u": u, "v": v, "swapped": swapped},
+            meta={
+                "rng_state": rng.bit_generator.state,
+                "stats": _stats_to_meta(stats),
+            },
+            fingerprint=self.fingerprint,
+        )
+
+
+def _swap_shm_estimate(m: int, config: ParallelConfig) -> int:
+    """Estimated shared-memory footprint of the process swap engine.
+
+    The sharded table (exact constructor sizing) plus the key/verdict
+    exchange buffers and per-worker journals — used by the ``/dev/shm``
+    capacity preflight so an oversized run degrades cleanly to the
+    vectorized engine instead of dying on ``ENOSPC`` mid-chain.
+    """
+    table = estimate_table_nbytes(2 * m + 16, config.shards or None, config.threads)
+    exchange = m * 9  # int64 keys + uint8 verdict flags
+    journals = 256 * 1024 * max(1, int(config.threads))
+    return int(table + exchange + journals)
+
+
 def swap_edges(
     graph: EdgeList,
     iterations: int,
@@ -147,6 +343,10 @@ def swap_edges(
     stats: SwapStats | None = None,
     cost: CostModel | None = None,
     callback=None,
+    checkpoint_dir=None,
+    checkpoint_every: int = 0,
+    resume_from=None,
+    _fingerprint: str | None = None,
 ) -> EdgeList:
     """Run ``iterations`` full parallel swap iterations over ``graph``.
 
@@ -177,6 +377,24 @@ def swap_edges(
         Optional ``callback(iteration, edge_list)`` invoked after every
         iteration — used by the mixing experiments to snapshot
         convergence without re-running.
+    checkpoint_dir:
+        Directory (or :class:`~repro.core.checkpoint.CheckpointStore`)
+        receiving crash-consistent snapshots.  Requires
+        ``checkpoint_every > 0``.
+    checkpoint_every:
+        Snapshot cadence in iterations.  Snapshots land at iteration
+        boundaries — the only points where the hash table is a pure
+        function of the edge array — so no shared-memory state is ever
+        serialized, and a snapshot taken on one backend resumes on any
+        other.
+    resume_from:
+        A checkpoint store/directory (or an already-loaded
+        :class:`~repro.core.checkpoint.Checkpoint`) to resume from.  The
+        snapshot's fingerprint must match this run's input + seed +
+        parameters; mismatches raise
+        :class:`~repro.core.checkpoint.CheckpointMismatchError`.  A
+        store with no swap snapshot starts from round 0.  The resumed
+        run is bitwise-identical to an uninterrupted one.
 
     Returns
     -------
@@ -192,6 +410,26 @@ def swap_edges(
     check_duplicates = space in ("simple", "loopy")
     check_loops = space in ("simple", "multigraph")
     m = len(graph.u)
+
+    if checkpoint_every < 0:
+        raise ValueError("checkpoint_every must be >= 0")
+    if checkpoint_every and checkpoint_dir is None:
+        raise ValueError("checkpoint_every requires checkpoint_dir")
+    store = as_store(checkpoint_dir) if checkpoint_dir is not None else None
+    ckpt = None
+    resume_state = None
+    fingerprint = ""
+    if store is not None or resume_from is not None:
+        # durable runs arm driver-side fault specs (the resume drill's
+        # parentkill fires from CheckpointStore.save)
+        faultinject.arm_from(config)
+        fingerprint = _fingerprint or _swap_fingerprint(
+            graph, iterations, config, space, probing
+        )
+        if store is not None and checkpoint_every:
+            ckpt = _SwapCheckpointer(store, checkpoint_every, fingerprint, iterations)
+        if resume_from is not None:
+            resume_state = _load_swap_resume(resume_from, fingerprint, m)
 
     # Backend dispatch for the TestAndSet engine.  All three backends
     # produce identical verdicts (set membership with first-occurrence
@@ -218,7 +456,8 @@ def swap_edges(
                     return _swap_edges_process(
                         graph, iterations, config, probing=probing,
                         check_loops=check_loops, stats=stats, cost=cost,
-                        callback=callback,
+                        callback=callback, checkpointer=ckpt,
+                        resume_state=resume_state,
                     )
                 except PoolFaultError as exc:
                     fall_faults = list(exc.faults)
@@ -232,14 +471,32 @@ def swap_edges(
             stats.degraded = True
             stats.faults.extend(fall_faults)
         # note: a callback that observed iterations of the failed attempt
-        # will observe the (identical) iterations again from 0
+        # will observe the (identical) iterations again from 0 — unless
+        # the attempt left durable snapshots, in which case the fallback
+        # resumes from the latest one instead of restarting the chain
         config = replace(config, backend="vectorized")
+        if store is not None:
+            resume_state = _load_swap_resume(store, fingerprint, m) or resume_state
 
     rng = config.generator()
     u = graph.u.copy()
     v = graph.v.copy()
     n_pairs = m // 2
     swapped = np.zeros(m, dtype=bool)
+    start_it = 0
+    # with checkpointing active, run against a run-local SwapStats so
+    # snapshots carry exactly this run's cumulative counts even when the
+    # caller reuses one accumulator across multiple swap_edges calls
+    local = SwapStats() if ckpt is not None or resume_state is not None else None
+    loop_stats = local if local is not None else stats
+    if resume_state is not None:
+        u = resume_state.u.copy()
+        v = resume_state.v.copy()
+        swapped = resume_state.swapped.copy()
+        _restore_rng(rng, resume_state.rng_state)
+        start_it = resume_state.start_iteration
+        if loop_stats is not None:
+            loop_stats.merge_from(resume_state.stats)
     table = ConcurrentEdgeHashTable(2 * m + 16, probing=probing)
     tas = (
         table.test_and_set_serial
@@ -248,8 +505,11 @@ def swap_edges(
     )
     u, v = _swap_loop(
         u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
-        check_duplicates, check_loops, stats, cost, callback, graph.n,
+        check_duplicates, check_loops, loop_stats, cost, callback, graph.n,
+        start_iteration=start_it, checkpointer=ckpt,
     )
+    if local is not None and stats is not None:
+        stats.merge_from(local)
     return EdgeList(u, v, graph.n)
 
 
@@ -263,6 +523,8 @@ def _swap_edges_process(
     stats: SwapStats | None,
     cost: CostModel | None,
     callback,
+    checkpointer=None,
+    resume_state=None,
 ) -> EdgeList:
     """One attempt of :func:`swap_edges` on the supervised process pool.
 
@@ -270,8 +532,12 @@ def _swap_edges_process(
     caller's objects only on success: a :class:`PoolFaultError` (or shm
     ``OSError``) mid-attempt must leave them untouched so the vectorized
     fallback re-accumulates from a clean slate and the caller sees
-    exactly one run's worth of counts.
+    exactly one run's worth of counts.  Checkpoints, by contrast, *are*
+    durable mid-attempt — they are written by this (parent) process at
+    iteration boundaries, where they are correct regardless of how the
+    attempt later ends, and they are what the fallback resumes from.
     """
+    from repro.parallel import shm
     from repro.parallel.mp_backend import SwapWorkerPool
 
     rng = config.generator()
@@ -280,8 +546,21 @@ def _swap_edges_process(
     m = len(u)
     n_pairs = m // 2
     swapped = np.zeros(m, dtype=bool)
-    local_stats = SwapStats() if stats is not None else None
+    start_it = 0
+    want_stats = stats is not None or checkpointer is not None
+    local_stats = SwapStats() if want_stats else None
     local_cost = CostModel() if cost is not None else None
+    if resume_state is not None:
+        u = resume_state.u.copy()
+        v = resume_state.v.copy()
+        swapped = resume_state.swapped.copy()
+        _restore_rng(rng, resume_state.rng_state)
+        start_it = resume_state.start_iteration
+        if local_stats is not None:
+            local_stats.merge_from(resume_state.stats)
+    shm.ensure_shm_capacity(
+        _swap_shm_estimate(m, config), label="process swap engine"
+    )
     table = None
     engine = None
     try:
@@ -295,7 +574,8 @@ def _swap_edges_process(
         u, v = _swap_loop(
             u, v, swapped, iterations, m, n_pairs, rng, config, table,
             engine.test_and_set, True, check_loops, local_stats, local_cost,
-            callback, graph.n,
+            callback, graph.n, start_iteration=start_it,
+            checkpointer=checkpointer,
         )
         if stats is not None:
             stats.merge_from(local_stats)
@@ -315,6 +595,9 @@ def _swap_loop(
     u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
     check_duplicates, check_loops, stats, cost, callback, n_vertices,
     preregistered: bool = False,
+    *,
+    start_iteration: int = 0,
+    checkpointer=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """The per-iteration body of :func:`swap_edges` (backend-agnostic).
 
@@ -326,8 +609,12 @@ def _swap_loop(
     that iteration is the pre-insert state (zero on a fresh table), so
     the insert-phase attempts land in iteration 0's stats delta exactly
     as phased registration would.
+
+    ``start_iteration > 0`` re-enters the loop mid-chain from restored
+    checkpoint state; the first resumed iteration always clears and
+    re-registers, which reconstructs the hash table exactly.
     """
-    for it in range(iterations):
+    for it in range(start_iteration, iterations):
         t0 = time.perf_counter()
         if it == 0 and preregistered:
             attempts_before = 0
@@ -420,6 +707,8 @@ def _swap_loop(
             cost.add("swap", work=float(2 * m), depth=float(4 + (table.stats.failures - failures_before > 0)), seconds=elapsed * 0.6)
         if callback is not None:
             callback(it, EdgeList(u.copy(), v.copy(), n_vertices))
+        if checkpointer is not None:
+            checkpointer.after_round(it, u, v, swapped, rng, stats)
 
     return u, v
 
@@ -436,6 +725,7 @@ def fused_swap_loop(
     stats: SwapStats | None = None,
     cost: CostModel | None = None,
     callback=None,
+    checkpointer=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Swap-phase entry for the fused pipeline (simple space only).
 
@@ -455,6 +745,7 @@ def fused_swap_loop(
     return _swap_loop(
         u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
         True, True, stats, cost, callback, n_vertices, preregistered=True,
+        checkpointer=checkpointer,
     )
 
 

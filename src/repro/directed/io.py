@@ -1,14 +1,19 @@
-"""File I/O for directed edge lists and bidegree distributions."""
+"""File I/O for directed edge lists and bidegree distributions.
+
+Text parsing mirrors :mod:`repro.graph.io`: comment lines, blank lines,
+and CRLF endings are tolerated; malformed lines raise a line-numbered
+:class:`~repro.graph.edgelist.EdgeListFormatError`.
+"""
 
 from __future__ import annotations
 
-import warnings
 from pathlib import Path
 
 import numpy as np
 
 from repro.directed.degree import DirectedDegreeDistribution
 from repro.directed.edgelist import DirectedEdgeList
+from repro.graph.io import _parse_header_n, _parse_int_table
 
 __all__ = [
     "save_arc_list",
@@ -30,19 +35,17 @@ def save_arc_list(graph: DirectedEdgeList, path) -> None:
 
 
 def load_arc_list(path) -> DirectedEdgeList:
-    """Read arcs written by :func:`save_arc_list`."""
+    """Read arcs written by :func:`save_arc_list`.
+
+    Malformed lines raise a line-numbered
+    :class:`~repro.graph.edgelist.EdgeListFormatError`.
+    """
     path = Path(path)
     if path.suffix == ".npz":
         with np.load(path) as data:
             return DirectedEdgeList(data["u"], data["v"], int(data["n"]))
-    n = None
-    with path.open() as fh:
-        first = fh.readline()
-        if first.startswith("#") and "n=" in first:
-            n = int(first.split("n=")[1].split()[0])
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", UserWarning)  # empty file is legal
-        pairs = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    n = _parse_header_n(path)
+    pairs = _parse_int_table(path, 2, "endpoint")
     if pairs.size == 0:
         return DirectedEdgeList(np.empty(0, np.int64), np.empty(0, np.int64), n or 0)
     return DirectedEdgeList(pairs[:, 0], pairs[:, 1], n)
@@ -61,10 +64,12 @@ def save_bidegree_distribution(dist: DirectedDegreeDistribution, path) -> None:
 
 
 def load_bidegree_distribution(path) -> DirectedDegreeDistribution:
-    """Read a distribution written by :func:`save_bidegree_distribution`."""
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", UserWarning)
-        data = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    """Read a distribution written by :func:`save_bidegree_distribution`.
+
+    Malformed lines raise a line-numbered
+    :class:`~repro.graph.edgelist.EdgeListFormatError`.
+    """
+    data = _parse_int_table(path, 3, "bidegree")
     if data.size == 0:
         return DirectedDegreeDistribution([], [], [])
     return DirectedDegreeDistribution(data[:, 0], data[:, 1], data[:, 2])

@@ -21,24 +21,45 @@ import numpy as np
 from repro.parallel.prefix import blocked_prefix_sum, prefix_sum
 from repro.parallel.runtime import ParallelConfig
 
-__all__ = ["DegreeDistribution", "is_graphical"]
+__all__ = [
+    "DegreeDistribution",
+    "NonGraphicalError",
+    "graphicality_violation",
+    "is_graphical",
+]
 
 
-def is_graphical(degrees: np.ndarray) -> bool:
-    """Erdős–Gallai test: can ``degrees`` be realized by a simple graph?
+class NonGraphicalError(ValueError):
+    """A degree sequence admits no simple-graph realization.
 
-    Vectorized over the k cut positions: with degrees sorted descending,
-    for every k, ``sum(d[:k]) <= k(k-1) + sum(min(d[k:], k))``, and the
-    degree sum must be even.
+    Raised by :func:`repro.core.generate.generate_graph` at its input
+    boundary; the message names the first violated Erdős–Gallai prefix
+    (or the parity / range condition that failed) so the caller can see
+    *why* the sequence is impossible rather than chase a downstream
+    sampling failure.
+    """
+
+
+def graphicality_violation(degrees: np.ndarray) -> str | None:
+    """First Erdős–Gallai violation of ``degrees``, or ``None`` if graphical.
+
+    Checks, in order: negative degrees, degree-sum parity, the
+    ``d_max <= n - 1`` range bound, then the Erdős–Gallai prefix
+    inequalities ``sum(d[:k]) <= k(k-1) + sum(min(d[k:], k))`` (degrees
+    sorted descending) — returning a human-readable description of the
+    first condition that fails.
     """
     d = np.sort(np.asarray(degrees, dtype=np.int64))[::-1]
     if d.size == 0:
-        return True
-    if d[0] < 0 or (d.sum() % 2) != 0:
-        return False
-    if d[0] >= len(d):
-        return False
+        return None
+    if int(d[-1]) < 0:
+        return f"negative degree {int(d[-1])}"
+    total = int(d.sum())
+    if total % 2:
+        return f"degree sum {total} is odd"
     n = len(d)
+    if int(d[0]) >= n:
+        return f"degree {int(d[0])} >= vertex count {n}"
     k = np.arange(1, n + 1, dtype=np.int64)
     lhs = np.cumsum(d)
     # The suffix d[k:] holds the n-k smallest values, i.e. asc[0 : n-k] of
@@ -51,7 +72,25 @@ def is_graphical(degrees: np.ndarray) -> bool:
     suffix_le_sum = csum[suffix_le_count]
     suffix_gt_count = (n - k) - suffix_le_count
     rhs = k * (k - 1) + suffix_le_sum + k * suffix_gt_count
-    return bool(np.all(lhs <= rhs))
+    bad = np.flatnonzero(lhs > rhs)
+    if bad.size:
+        i = int(bad[0])
+        return (
+            f"Erdős–Gallai prefix k={i + 1} violated: the {i + 1} largest "
+            f"degrees sum to {int(lhs[i])} > bound {int(rhs[i])}"
+        )
+    return None
+
+
+def is_graphical(degrees: np.ndarray) -> bool:
+    """Erdős–Gallai test: can ``degrees`` be realized by a simple graph?
+
+    Vectorized over the k cut positions: with degrees sorted descending,
+    for every k, ``sum(d[:k]) <= k(k-1) + sum(min(d[k:], k))``, and the
+    degree sum must be even.  :func:`graphicality_violation` reports
+    *which* condition fails.
+    """
+    return graphicality_violation(degrees) is None
 
 
 class DegreeDistribution:

@@ -19,7 +19,29 @@ import numpy as np
 
 from repro.parallel.hashtable import pack_edges, unpack_edges
 
-__all__ = ["EdgeList"]
+__all__ = ["EdgeList", "EdgeListFormatError"]
+
+
+class EdgeListFormatError(ValueError):
+    """A text edge-list (or degree-distribution) file failed to parse.
+
+    Raised by the loaders in :mod:`repro.graph.io` and
+    :mod:`repro.directed.io` in place of the raw ``IndexError`` /
+    ``ValueError`` a malformed line would otherwise surface as; the
+    message carries the file path and 1-based line number of the first
+    offending line.
+    """
+
+    def __init__(self, message: str, *, path=None, line: int | None = None) -> None:
+        where = str(path) if path is not None else "<edge list>"
+        if line is not None:
+            where = f"{where}:{line}"
+        super().__init__(f"{where}: {message}")
+        #: offending file, as passed to the loader
+        self.path = path
+        #: 1-based line number of the first bad line (None for header-less
+        #: structural problems such as an empty required header)
+        self.line = line
 
 
 class EdgeList:

@@ -10,13 +10,12 @@ Two formats:
 
 from __future__ import annotations
 
-import warnings
 from pathlib import Path
 
 import numpy as np
 
 from repro.graph.degree import DegreeDistribution
-from repro.graph.edgelist import EdgeList
+from repro.graph.edgelist import EdgeList, EdgeListFormatError
 
 __all__ = [
     "save_edge_list",
@@ -26,6 +25,64 @@ __all__ = [
     "save_metis",
     "load_metis",
 ]
+
+
+def _parse_int_table(path, n_columns: int, what: str) -> np.ndarray:
+    """Parse a whitespace-separated integer table, tolerantly but loudly.
+
+    Tolerated: ``#`` comment lines (and trailing ``#`` comments), blank
+    lines, arbitrary leading/trailing whitespace, CRLF line endings.
+    Rejected with a line-numbered :class:`EdgeListFormatError`: wrong
+    column counts and non-integer fields — the failures ``np.loadtxt``
+    used to surface as context-free ``ValueError`` tracebacks.
+    """
+    rows: list[list[int]] = []
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            tokens = line.split()
+            if len(tokens) != n_columns:
+                raise EdgeListFormatError(
+                    f"expected {n_columns} {what} columns, got {len(tokens)} "
+                    f"({line!r})",
+                    path=path,
+                    line=lineno,
+                )
+            try:
+                rows.append([int(tok) for tok in tokens])
+            except ValueError:
+                bad = next(t for t in tokens if not _is_int(t))
+                raise EdgeListFormatError(
+                    f"non-integer {what} field {bad!r}", path=path, line=lineno
+                ) from None
+    return np.asarray(rows, dtype=np.int64).reshape(-1, n_columns)
+
+
+def _is_int(token: str) -> bool:
+    """Whether ``int(token)`` succeeds."""
+    try:
+        int(token)
+    except ValueError:
+        return False
+    return True
+
+
+def _parse_header_n(path) -> int | None:
+    """The ``n=<count>`` header value of a text edge list, if present."""
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        first = fh.readline()
+    if not first.startswith("#") or "n=" not in first:
+        return None
+    rest = first.split("n=")[1].split()
+    token = rest[0] if rest else ""
+    try:
+        return int(token)
+    except ValueError:
+        raise EdgeListFormatError(
+            f"malformed header vertex count n={token!r}", path=path, line=1
+        ) from None
 
 
 def save_edge_list(graph: EdgeList, path) -> None:
@@ -40,19 +97,17 @@ def save_edge_list(graph: EdgeList, path) -> None:
 
 
 def load_edge_list(path) -> EdgeList:
-    """Read a graph written by :func:`save_edge_list`."""
+    """Read a graph written by :func:`save_edge_list`.
+
+    Text files tolerate comments, blank lines, and CRLF endings;
+    malformed lines raise a line-numbered :class:`EdgeListFormatError`.
+    """
     path = Path(path)
     if path.suffix == ".npz":
         with np.load(path) as data:
             return EdgeList(data["u"], data["v"], int(data["n"]))
-    n = None
-    with path.open() as fh:
-        first = fh.readline()
-        if first.startswith("#") and "n=" in first:
-            n = int(first.split("n=")[1].split()[0])
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", UserWarning)  # empty file is legal
-        pairs = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    n = _parse_header_n(path)
+    pairs = _parse_int_table(path, 2, "endpoint")
     if pairs.size == 0:
         return EdgeList(np.empty(0, np.int64), np.empty(0, np.int64), n or 0)
     return EdgeList(pairs[:, 0], pairs[:, 1], n)
@@ -82,6 +137,12 @@ def load_metis(path) -> EdgeList:
     path = Path(path)
     with path.open() as fh:
         header = fh.readline().split()
+        if len(header) < 2 or not (_is_int(header[0]) and _is_int(header[1])):
+            raise EdgeListFormatError(
+                f"malformed METIS header {' '.join(header)!r}; expected 'n m'",
+                path=path,
+                line=1,
+            )
         n, m = int(header[0]), int(header[1])
         us: list[int] = []
         vs: list[int] = []
@@ -89,6 +150,10 @@ def load_metis(path) -> EdgeList:
             if v >= n:
                 break
             for tok in line.split():
+                if not _is_int(tok):
+                    raise EdgeListFormatError(
+                        f"non-integer neighbor {tok!r}", path=path, line=v + 2
+                    )
                 w = int(tok) - 1
                 if w >= v:  # emit each undirected edge once
                     us.append(v)
@@ -108,10 +173,11 @@ def save_degree_distribution(dist: DegreeDistribution, path) -> None:
 
 
 def load_degree_distribution(path) -> DegreeDistribution:
-    """Read a distribution written by :func:`save_degree_distribution`."""
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", UserWarning)  # empty file is legal
-        data = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    """Read a distribution written by :func:`save_degree_distribution`.
+
+    Malformed lines raise a line-numbered :class:`EdgeListFormatError`.
+    """
+    data = _parse_int_table(path, 2, "degree/count")
     if data.size == 0:
         return DegreeDistribution(np.empty(0, np.int64), np.empty(0, np.int64))
     return DegreeDistribution(data[:, 0], data[:, 1])

@@ -28,6 +28,11 @@ A *fault plan* is a comma-separated spec string, read from
     ``OSError`` (arms a process-local counter).
 ``kill:w0:tas:0:x3``
     fire three times — once per respawned incarnation of worker 0.
+``parentkill:checkpoint:1``
+    SIGKILL the *driver process itself* immediately after its 2nd
+    durable checkpoint write — the resume drill: the suite relaunches
+    the run with ``resume`` and asserts the output is bitwise-identical
+    to an uninterrupted run.
 
 Worker-targeted specs count *matching ops as observed by one worker
 process*, so a respawned worker re-observes its replayed batch at index
@@ -57,6 +62,9 @@ __all__ = [
     "arm_shm_faults",
     "disarm_shm_faults",
     "consume_shm_fault",
+    "arm_parent_faults",
+    "disarm_parent_faults",
+    "fire_parent",
 ]
 
 #: Environment variable holding a fault-plan string.
@@ -64,6 +72,9 @@ FAULT_ENV = "REPRO_FAULTS"
 
 #: Fault kinds executed inside a worker process.
 WORKER_FAULT_KINDS = ("kill", "killmid", "hang", "error")
+
+#: Fault kinds executed inside the driver (parent) process.
+PARENT_FAULT_KINDS = ("parentkill",)
 
 #: How long a ``hang`` fault sleeps.  Far beyond any sane batch deadline;
 #: the supervisor is expected to SIGKILL the worker long before this.
@@ -92,13 +103,16 @@ class FaultSpec:
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """A parsed fault-plan: worker specs plus an shm-failure budget."""
+    """A parsed fault-plan: worker specs, parent specs, shm budget."""
 
     specs: tuple = ()
     shm_failures: int = 0
+    #: specs executed by the driver process itself (``parentkill``) —
+    #: never shipped to workers, never disarmed by respawns
+    parent_specs: tuple = ()
 
     def __bool__(self) -> bool:
-        return bool(self.specs) or self.shm_failures > 0
+        return bool(self.specs) or self.shm_failures > 0 or bool(self.parent_specs)
 
     def after_respawn(self, worker: int) -> "FaultPlan":
         """Disarm one firing of every spec targeting ``worker``.
@@ -116,7 +130,7 @@ class FaultPlan:
                     out.append(replace(s, times=s.times - 1))
             else:
                 out.append(s)
-        return FaultPlan(tuple(out), self.shm_failures)
+        return FaultPlan(tuple(out), self.shm_failures, self.parent_specs)
 
 
 def parse_plan(spec: str | None) -> FaultPlan | None:
@@ -124,6 +138,7 @@ def parse_plan(spec: str | None) -> FaultPlan | None:
     if not spec:
         return None
     specs = []
+    parent_specs = []
     shm = 0
     for token in spec.split(","):
         token = token.strip()
@@ -136,10 +151,28 @@ def parse_plan(spec: str | None) -> FaultPlan | None:
                 raise ValueError(f"malformed shm fault {token!r}; expected shm:N")
             shm += int(parts[1])
             continue
+        if kind in PARENT_FAULT_KINDS:
+            if len(parts) not in (3, 4):
+                raise ValueError(
+                    f"malformed parent fault {token!r}; expected kind:op:index[:xT]"
+                )
+            op = parts[1]
+            index = int(parts[2])
+            if index < 0:
+                raise ValueError(f"fault index must be >= 0 in {token!r}")
+            times = 1
+            if len(parts) == 4:
+                if not parts[3].startswith("x"):
+                    raise ValueError(
+                        f"malformed repeat field {parts[3]!r} in {token!r}"
+                    )
+                times = int(parts[3][1:])
+            parent_specs.append(FaultSpec(kind, -1, op, index, times))
+            continue
         if kind not in WORKER_FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {kind!r}; expected one of "
-                f"{WORKER_FAULT_KINDS + ('shm',)}"
+                f"{WORKER_FAULT_KINDS + PARENT_FAULT_KINDS + ('shm',)}"
             )
         if len(parts) not in (4, 5):
             raise ValueError(
@@ -159,7 +192,7 @@ def parse_plan(spec: str | None) -> FaultPlan | None:
                 raise ValueError(f"malformed repeat field {parts[4]!r} in {token!r}")
             times = int(parts[4][1:])
         specs.append(FaultSpec(kind, worker, op, index, times))
-    plan = FaultPlan(tuple(specs), shm)
+    plan = FaultPlan(tuple(specs), shm, tuple(parent_specs))
     return plan if plan else None
 
 
@@ -217,6 +250,57 @@ class FaultEvent:
     restart: int = 0  #: pool restart counter after this event
 
 
+# -- driver-process (parent) fault firing ---------------------------------
+#
+# parentkill specs drill the checkpoint/resume path: the driver SIGKILLs
+# *itself* right after the matching durable event (today: the index-th
+# "checkpoint" write), and the test harness relaunches with resume.  The
+# firing state is process-local; forked workers disarm it at startup so
+# a driver plan never detonates inside a worker.
+
+_parent_specs: tuple = ()
+_parent_seen: dict[str, int] = {}
+
+
+def arm_parent_faults(plan: "FaultPlan | None") -> None:
+    """Arm the driver-side specs of ``plan`` (idempotent for same plan).
+
+    Re-arming with an identical spec tuple keeps the op counters — the
+    checkpoint layer arms at every durable entry point (``generate_graph``
+    then ``swap_edges``), and resetting counters mid-run would shift
+    which write the fault fires on.
+    """
+    global _parent_specs, _parent_seen
+    specs = plan.parent_specs if plan is not None else ()
+    if specs == _parent_specs:
+        return
+    _parent_specs = specs
+    _parent_seen = {}
+
+
+def disarm_parent_faults() -> None:
+    """Clear driver-side specs (workers call this at startup post-fork)."""
+    global _parent_specs, _parent_seen
+    _parent_specs = ()
+    _parent_seen = {}
+
+
+def fire_parent(op: str) -> None:
+    """Count a driver-side op and SIGKILL this process on a match.
+
+    Called by :meth:`repro.core.checkpoint.CheckpointStore.save` after a
+    snapshot becomes durable; a no-op unless a ``parentkill`` spec is
+    armed for this ``op`` at this index.
+    """
+    if not _parent_specs:
+        return
+    seen = _parent_seen.get(op, 0)
+    _parent_seen[op] = seen + 1
+    for spec in _parent_specs:
+        if spec.kind == "parentkill" and spec.matches(-1, op, seen):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
 # -- process-local shared-memory fault counter ----------------------------
 
 _shm_failures = 0
@@ -235,10 +319,11 @@ def disarm_shm_faults() -> None:
 
 
 def arm_from(config) -> None:
-    """Arm the shm counter from a config/env fault plan, if any."""
+    """Arm driver-local faults (shm counter, parent kills) from a plan."""
     plan = plan_from(config)
     if plan is not None and plan.shm_failures:
         arm_shm_faults(plan.shm_failures)
+    arm_parent_faults(plan)
 
 
 def consume_shm_fault() -> bool:

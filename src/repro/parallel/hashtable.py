@@ -40,6 +40,7 @@ __all__ = [
     "pack_edges",
     "unpack_edges",
     "effective_shard_count",
+    "estimate_table_nbytes",
     "shard_of_keys",
     "EMPTY_KEY",
 ]
@@ -304,6 +305,24 @@ def effective_shard_count(n_shards: int | None, workers_hint: int) -> int:
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
     return _next_pow2(int(n_shards))
+
+
+def estimate_table_nbytes(
+    capacity_hint: int, n_shards: int | None = None, workers_hint: int = 1
+) -> int:
+    """Shared-memory bytes :class:`ShardedEdgeHashTable` would allocate.
+
+    Mirrors the constructor's sizing rule exactly (shard count, 4×
+    headroom, power-of-two slots per shard, the stats segment) without
+    allocating anything — the capacity preflight of the process backend
+    uses it to decide whether ``/dev/shm`` can hold the table *before*
+    committing to the shared-memory execution path.
+    """
+    shards = effective_shard_count(n_shards, workers_hint)
+    slots_per_shard = _next_pow2(max(16, -(-4 * max(int(capacity_hint), 1) // shards)))
+    slots_bytes = shards * slots_per_shard * np.dtype(np.int64).itemsize
+    stats_bytes = shards * len(SHARD_STAT_COLUMNS) * np.dtype(np.int64).itemsize
+    return int(slots_bytes + stats_bytes)
 
 
 def shard_of_keys(keys: np.ndarray, n_shards: int) -> np.ndarray:

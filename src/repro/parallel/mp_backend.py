@@ -87,6 +87,10 @@ __all__ = [
     "PoolFaultError",
 ]
 
+#: How often an idle worker wakes from its task-queue wait to check
+#: whether it has been reparented (parent SIGKILLed without a "stop").
+_ORPHAN_POLL_SECONDS = 5.0
+
 
 def available_workers(requested: int) -> int:
     """Clamp a requested worker count to what the host offers."""
@@ -250,6 +254,8 @@ def _pipeline_worker(
     injection never leaks into children.
     """
     faultinject.disarm_shm_faults()
+    faultinject.disarm_parent_faults()
+    parent_pid = os.getppid()
     injector = (
         faultinject.WorkerInjector(fault_plan, worker_id)
         if fault_plan is not None and fault_plan.specs
@@ -276,8 +282,17 @@ def _pipeline_worker(
 
     if bind0 is not None:
         do_bind(*bind0)
+    # Block in short slices: if the parent is SIGKILLed, no "stop" ever
+    # arrives and the queue never EOFs (every sibling holds the write
+    # end), so an orphaned worker would otherwise linger forever.  The
+    # reparenting check turns parent death into a clean worker exit.
+    reader = getattr(task_queue, "_reader", None)
     try:
         while True:
+            if reader is not None:
+                while not reader.poll(_ORPHAN_POLL_SECONDS):
+                    if os.getppid() != parent_pid:
+                        return  # orphaned: parent died without "stop"
             msg = task_queue.get()
             if msg is None or msg[0] == "stop":
                 break

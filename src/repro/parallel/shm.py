@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import logging
 import os
 import secrets
 import tempfile
@@ -43,6 +44,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.parallel import faultinject
+
+_log = logging.getLogger(__name__)
 
 try:  # pragma: no cover - present on every supported platform
     from multiprocessing import shared_memory
@@ -58,6 +61,9 @@ __all__ = [
     "PipelineArena",
     "HAVE_SHM",
     "reap_stale",
+    "ShmCapacityError",
+    "shm_free_bytes",
+    "ensure_shm_capacity",
 ]
 
 #: Prefix of every segment this library creates; the reaper only ever
@@ -84,6 +90,64 @@ def _create_segment(size: int):
             continue
     # pragma: no cover - give up on stamped names, let the OS pick one
     return shared_memory.SharedMemory(create=True, size=size)
+
+
+class ShmCapacityError(OSError):
+    """Estimated shared-memory footprint exceeds ``/dev/shm`` capacity.
+
+    An :class:`OSError` subclass so the process backend's existing
+    degradation ladder (fused → phased, process swap → vectorized)
+    catches it exactly like a mid-run ``ENOSPC`` — but raised *before*
+    any segment is allocated, turning a mid-pipeline death into a clean
+    logged fallback.
+    """
+
+
+def shm_free_bytes(path: str = "/dev/shm") -> int | None:
+    """Bytes currently available on the shared-memory filesystem.
+
+    ``None`` when it cannot be determined (no ``/dev/shm``, platform
+    without ``statvfs``) — callers must then skip the preflight rather
+    than spuriously degrade.
+    """
+    try:
+        st = os.statvfs(path)
+    except (OSError, AttributeError):
+        return None
+    return int(st.f_bavail) * int(st.f_frsize)
+
+
+#: Fraction of the free shared-memory space a pipeline may plan to use;
+#: the reserve absorbs estimate error and concurrent allocators.
+SHM_HEADROOM = 0.9
+
+
+def ensure_shm_capacity(nbytes: int, *, label: str = "pipeline") -> None:
+    """Preflight: raise :class:`ShmCapacityError` if ``nbytes`` won't fit.
+
+    Compares the estimated segment footprint against the space currently
+    free on ``/dev/shm`` (with :data:`SHM_HEADROOM` reserve) and logs a
+    warning before raising, so a degraded run says *why* it degraded
+    instead of dying later on ``OSError: No space left on device``.
+    """
+    free = shm_free_bytes()
+    if free is None:
+        return
+    budget = int(free * SHM_HEADROOM)
+    if int(nbytes) > budget:
+        _log.warning(
+            "%s needs an estimated %.1f MiB of shared memory but /dev/shm "
+            "has only %.1f MiB free (%.1f MiB after headroom); degrading "
+            "to the phased no-shm path",
+            label,
+            nbytes / 2**20,
+            free / 2**20,
+            budget / 2**20,
+        )
+        raise ShmCapacityError(
+            f"{label}: estimated shared-memory footprint {int(nbytes)} B "
+            f"exceeds available {budget} B on /dev/shm"
+        )
 
 
 @dataclass(frozen=True)
@@ -204,6 +268,16 @@ class PipelineArena:
         self._manifest_path: str | None = None
 
     # -- allocation / access ---------------------------------------------
+
+    def preflight(self, nbytes: int, *, label: str = "pipeline arena") -> None:
+        """Check that an estimated ``nbytes`` of segments will fit.
+
+        Call once with the *total* planned footprint before the first
+        :meth:`allocate`; raises :class:`ShmCapacityError` (with a logged
+        warning) when ``/dev/shm`` cannot hold it, so callers degrade to
+        a no-shm execution path up front instead of dying mid-run.
+        """
+        ensure_shm_capacity(nbytes, label=label)
 
     def allocate(self, name: str, shape, dtype, *, fill=None) -> SharedArray:
         """Create a new named segment owned by this arena."""

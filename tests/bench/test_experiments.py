@@ -167,3 +167,38 @@ class TestExtensionExperiments:
         capsys.readouterr()
         text = (tmp_path / "res" / "table1.txt").read_text()
         assert "table1" in text
+
+
+class TestDurable:
+    def test_checkpoint_then_resume_same_digest(self, tmp_path):
+        first = experiments.durable(
+            swap_iterations=4, checkpoint_every=1, checkpoint_dir=str(tmp_path)
+        )
+        resumed = experiments.durable(
+            swap_iterations=4,
+            checkpoint_every=1,
+            checkpoint_dir=str(tmp_path),
+            resume=True,
+        )
+        assert first.series["digest"] == resumed.series["digest"]
+        assert not first.series["report"].resumed
+        assert resumed.series["report"].resumed
+
+    def test_ephemeral_run_without_dir(self):
+        result = experiments.durable(swap_iterations=2, checkpoint_every=1)
+        assert result.series["digest"]
+
+    def test_cli_flags(self, tmp_path, capsys):
+        from repro.bench.cli import main
+
+        out = tmp_path / "ck"
+        assert main(["durable", "--checkpoint-dir", str(out)]) == 0
+        assert "durable" in capsys.readouterr().out
+        assert main(["durable", "--checkpoint-dir", str(out), "--resume"]) == 0
+        assert "durable" in capsys.readouterr().out
+
+    def test_cli_resume_requires_dir(self, capsys):
+        from repro.bench.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["durable", "--resume"])

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.graph.degree import DegreeDistribution, is_graphical
+from repro.graph.degree import (
+    DegreeDistribution,
+    NonGraphicalError,
+    graphicality_violation,
+    is_graphical,
+)
 from repro.graph.edgelist import EdgeList
 
 
@@ -139,3 +144,51 @@ class TestErdosGallai:
     def test_dist_not_graphical(self):
         d = DegreeDistribution([1, 3], [1, 3])  # [3,3,3,1]
         assert not d.is_graphical()
+
+
+class TestGraphicalityViolation:
+    """graphicality_violation names the *first* violated condition."""
+
+    def test_graphical_returns_none(self):
+        assert graphicality_violation([2, 2, 2]) is None
+        assert graphicality_violation([]) is None
+
+    def test_negative_degree_named(self):
+        msg = graphicality_violation([2, -2])
+        assert msg is not None and "negative degree" in msg
+
+    def test_odd_sum_named(self):
+        msg = graphicality_violation([1, 1, 1])
+        assert msg is not None and "odd" in msg
+
+    def test_degree_exceeds_vertex_count_named(self):
+        msg = graphicality_violation([3, 3])
+        assert msg is not None and "vertex count" in msg
+
+    def test_erdos_gallai_prefix_named(self):
+        msg = graphicality_violation([3, 3, 1, 1])
+        assert msg is not None and "k=" in msg and "bound" in msg
+
+    def test_first_violated_prefix_is_reported(self):
+        msg = graphicality_violation([3, 3, 1, 1])
+        assert msg is not None
+        k = int(msg.split("k=")[1].split()[0])
+        seq = np.sort(np.asarray([3, 3, 1, 1]))[::-1]
+        for i in range(1, k):
+            lhs = int(seq[:i].sum())
+            rhs = i * (i - 1) + int(np.minimum(seq[i:], i).sum())
+            assert lhs <= rhs  # every earlier prefix holds
+
+    def test_is_graphical_agrees_with_violation(self):
+        for seq in ([2, 2, 2], [3, 3, 1, 1], [1, 1, 1], [5, 1], [-1, 1]):
+            assert is_graphical(seq) == (graphicality_violation(seq) is None)
+
+    def test_generate_rejects_non_graphical(self):
+        from repro.core.generate import generate_graph
+        from repro.parallel.runtime import ParallelConfig
+
+        with pytest.raises(NonGraphicalError) as exc:
+            generate_graph(
+                DegreeDistribution([3], [2]), config=ParallelConfig(seed=1)
+            )
+        assert "not graphical" in str(exc.value)

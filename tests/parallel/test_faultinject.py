@@ -330,6 +330,87 @@ class TestReaper:
             arr.close()
         _assert_no_repro_segments()
 
+    def test_reaper_racing_concurrent_live_run(self):
+        """reap_stale running *while* another process is mid-run must not
+        touch the live run's segments — only the dead leftovers."""
+        from repro.parallel import shm as shm_mod
+
+        # a live "run": child creates a segment and blocks until released
+        live_parent = os.getpid()
+        r_live, w_live = os.pipe()
+        r_ready, w_ready = os.pipe()
+        live = os.fork()
+        if live == 0:  # pragma: no cover - child process
+            import select
+
+            arr = shm_mod.SharedArray((64,), np.int64)
+            os.write(w_ready, b"x")
+            # hold the segment until the parent says so — but never
+            # outlive a parent that died before releasing us
+            for _ in range(60):
+                if select.select([r_live], [], [], 1.0)[0]:
+                    break
+                if os.getppid() != live_parent:
+                    break
+            arr.close()
+            os._exit(0)
+        os.read(r_ready, 1)
+        try:
+            live_segs = set(
+                os.path.basename(p) for p in glob.glob(f"/dev/shm/repro_{live}_*")
+            )
+            assert live_segs, "live child created no segment"
+
+            # a dead "run": child leaks a segment and exits.  Unregister
+            # from the resource tracker first so the leak is
+            # deterministic — a SIGKILLed run performs no cleanup either,
+            # but a tracker forked inside *this* child would unlink the
+            # segment at exit and race the assertions below.
+            dead = os.fork()
+            if dead == 0:  # pragma: no cover - child process
+                from multiprocessing import resource_tracker
+
+                arr = shm_mod.SharedArray((64,), np.int64)
+                try:
+                    resource_tracker.unregister(arr._shm._name, "shared_memory")
+                except Exception:
+                    pass
+                os._exit(0)
+            os.waitpid(dead, 0)
+            dead_segs = set(
+                os.path.basename(p) for p in glob.glob(f"/dev/shm/repro_{dead}_*")
+            )
+            assert dead_segs, "dead child leaked no segment"
+
+            # several reapers race each other against the live run
+            import threading
+
+            results = []
+            threads = [
+                threading.Thread(target=lambda: results.append(shm_mod.reap_stale()))
+                for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            reaped = [name for r in results for name in r]
+            # dead leftovers collected exactly once, live segments untouched
+            assert set(reaped) >= dead_segs
+            assert len(reaped) == len(set(reaped))
+            assert not (set(reaped) & live_segs)
+            for name in live_segs:
+                assert os.path.exists(f"/dev/shm/{name}")
+        finally:
+            os.write(w_live, b"x")
+            os.waitpid(live, 0)
+            for fd in (r_live, w_live, r_ready, w_ready):
+                os.close(fd)
+        # once the live run ends (cleanly closing its segment), a final
+        # sweep finds nothing left to do
+        assert not glob.glob(f"/dev/shm/repro_{live}_*")
+        _assert_no_repro_segments()
+
 
 class TestCloseEscalation:
     def test_close_kills_stopped_worker(self):

@@ -1,0 +1,99 @@
+"""/dev/shm capacity preflight: degrade instead of dying on ENOSPC.
+
+Satellite of the durability PR: before allocating shared-memory
+segments, the process backend estimates its footprint and — when the
+estimate exceeds the free space on ``/dev/shm`` (with headroom) — raises
+:class:`~repro.parallel.shm.ShmCapacityError`, which rides the existing
+``OSError`` degradation ladder down to the phased / vectorized paths.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core.generate import generate_graph
+from repro.core.swap import swap_edges
+from repro.graph.edgelist import EdgeList
+from repro.parallel import shm
+from repro.parallel.runtime import ParallelConfig
+
+pytestmark = pytest.mark.skipif(not shm.HAVE_SHM, reason="no shared_memory support")
+
+
+def _graph(seed=0, n=80, m=240) -> EdgeList:
+    rng = np.random.default_rng(seed)
+    return EdgeList(
+        rng.integers(0, n, m).astype(np.int64),
+        rng.integers(0, n, m).astype(np.int64),
+        n,
+    )
+
+
+class TestEnsureShmCapacity:
+    def test_fits_is_silent(self):
+        shm.ensure_shm_capacity(1)  # one byte always fits
+
+    def test_exceeds_raises_and_logs(self, monkeypatch, caplog):
+        monkeypatch.setattr(shm, "shm_free_bytes", lambda path="/dev/shm": 1000)
+        with caplog.at_level(logging.WARNING, logger=shm.__name__):
+            with pytest.raises(shm.ShmCapacityError) as exc:
+                shm.ensure_shm_capacity(10_000, label="unit test")
+        assert "unit test" in str(exc.value)
+        assert any("degrading" in r.message for r in caplog.records)
+
+    def test_headroom_reserved(self, monkeypatch):
+        monkeypatch.setattr(shm, "shm_free_bytes", lambda path="/dev/shm": 1000)
+        shm.ensure_shm_capacity(900)  # exactly the 0.9 budget
+        with pytest.raises(shm.ShmCapacityError):
+            shm.ensure_shm_capacity(901)
+
+    def test_unknown_free_space_skips_preflight(self, monkeypatch):
+        monkeypatch.setattr(shm, "shm_free_bytes", lambda path="/dev/shm": None)
+        shm.ensure_shm_capacity(2**62)  # cannot tell: do not spuriously degrade
+
+    def test_capacity_error_is_oserror(self):
+        # must ride the backend's existing `except OSError` ladder
+        assert issubclass(shm.ShmCapacityError, OSError)
+
+
+class TestArenaPreflight:
+    def test_preflight_blocks_before_any_allocation(self, monkeypatch):
+        monkeypatch.setattr(shm, "shm_free_bytes", lambda path="/dev/shm": 4096)
+        arena = shm.PipelineArena()
+        try:
+            with pytest.raises(shm.ShmCapacityError):
+                arena.preflight(2**30, label="test arena")
+            assert arena.names() == []  # nothing was allocated
+        finally:
+            arena.close()
+
+    def test_preflight_passes_small_request(self):
+        arena = shm.PipelineArena()
+        try:
+            arena.preflight(64)
+            arena.allocate("x", (8,), np.int64)
+        finally:
+            arena.close()
+
+
+class TestBackendDegradation:
+    def test_swap_degrades_to_vectorized(self, monkeypatch, caplog):
+        """Process swap under shm pressure silently produces the
+        vectorized backend's bitwise output instead of dying."""
+        g = _graph()
+        cfg = ParallelConfig(seed=7, threads=2, backend="process")
+        ref = swap_edges(g, 4, ParallelConfig(seed=7, threads=2, backend="vectorized"))
+        monkeypatch.setattr(shm, "shm_free_bytes", lambda path="/dev/shm": 1024)
+        with caplog.at_level(logging.WARNING):
+            out = swap_edges(g, 4, cfg)
+        np.testing.assert_array_equal(out.u, ref.u)
+        np.testing.assert_array_equal(out.v, ref.v)
+        assert any("degrad" in r.message for r in caplog.records)
+
+    def test_generate_degrades_cleanly(self, monkeypatch, small_dist):
+        monkeypatch.setattr(shm, "shm_free_bytes", lambda path="/dev/shm": 1024)
+        cfg = ParallelConfig(seed=8, threads=2, backend="process")
+        out, report = generate_graph(small_dist, swap_iterations=3, config=cfg)
+        assert not report.fused and report.degraded
+        assert out.is_simple()
