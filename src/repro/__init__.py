@@ -26,7 +26,9 @@ Public surface:
   (Section VI);
 - :mod:`repro.datasets` — synthetic Table I dataset twins;
 - :mod:`repro.parallel` — the shared-memory substrate (hash table,
-  permutation, prefix sums, cost model).
+  permutation, prefix sums, cost model);
+- :mod:`repro.obs` — run-scoped observability (structured tracing,
+  metrics, swap-chain mixing diagnostics); see ``docs/observability.md``.
 """
 
 from repro.graph.degree import DegreeDistribution, NonGraphicalError
@@ -41,6 +43,7 @@ from repro.core.checkpoint import (
     CheckpointMismatchError,
     CheckpointStore,
 )
+from repro.obs import Metrics, MixingTrajectory, RunTrace
 
 __version__ = "1.0.0"
 
@@ -60,5 +63,8 @@ __all__ = [
     "CheckpointError",
     "CheckpointMismatchError",
     "CheckpointStore",
+    "RunTrace",
+    "Metrics",
+    "MixingTrajectory",
     "__version__",
 ]

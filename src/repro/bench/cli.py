@@ -71,6 +71,7 @@ EXPERIMENTS = {
     "corrections": experiments.corrections_experiment,
     "distributed": experiments.distributed_experiment,
     "mixing": experiments.mixing_experiment,
+    "observe": experiments.observe,
     "durable": experiments.durable,
 }
 
@@ -97,6 +98,19 @@ def main(argv: list[str] | None = None) -> int:
         "--resume",
         action="store_true",
         help="resume the 'durable' experiment from the snapshots in --checkpoint-dir",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="mirror the 'observe' experiment's trace to PATH as JSONL "
+        "(validate with python -m repro.obs.schema PATH)",
+    )
+    parser.add_argument(
+        "--mixing",
+        metavar="K",
+        type=int,
+        help="sample mixing diagnostics every K permutation rounds in the "
+        "'observe' experiment (default 2; 0 disables)",
     )
     args = parser.parse_args(argv)
     if args.resume and not args.checkpoint_dir:
@@ -155,6 +169,11 @@ def main(argv: list[str] | None = None) -> int:
             result = EXPERIMENTS[name](
                 checkpoint_dir=args.checkpoint_dir, resume=args.resume
             )
+        elif name == "observe" and (args.trace or args.mixing is not None):
+            kwargs = {"trace_path": args.trace}
+            if args.mixing is not None:
+                kwargs["mixing_every"] = args.mixing
+            result = EXPERIMENTS[name](**kwargs)
         else:
             result = EXPERIMENTS[name]()
         text = result.render()

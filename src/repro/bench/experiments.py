@@ -60,6 +60,7 @@ __all__ = [
     "corrections_experiment",
     "distributed_experiment",
     "mixing_experiment",
+    "observe",
     "durable",
     "SKEWED_DATASETS",
     "ALL_DATASETS",
@@ -72,6 +73,19 @@ ALL_DATASETS = tuple(SPECS)
 
 def _config(seed: int, threads: int = 16) -> ParallelConfig:
     return ParallelConfig(threads=threads, seed=seed)
+
+
+def _nanmean(values: list[float]) -> float:
+    """Mean over the defined samples; 0.0 when every sample is NaN.
+
+    :func:`~repro.graph.stats.percent_error` yields NaN when the
+    expectation is zero — those samples carry no information and must
+    not poison the average (or the JSON report).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if not np.isfinite(arr).any():
+        return 0.0
+    return float(np.nanmean(arr))
 
 
 def fig1(
@@ -181,17 +195,21 @@ def fig3(
         dist = SPECS[name].synthesize(scale)
         target_gini = gini_coefficient(dist.expand())
         for method in GENERATORS:
-            e_err = d_err = g_err = 0.0
+            e_err: list[float] = []
+            d_err: list[float] = []
+            g_err: list[float] = []
             for s in range(samples):
                 g = generate_with_method(
                     method, dist, config.with_seed(seed + 101 * s),
                     swap_iterations=swap_iterations,
                 )
                 deg = g.degree_sequence()
-                e_err += abs(percent_error(g.m, dist.m))
-                d_err += abs(percent_error(int(deg.max()) if len(deg) else 0, dist.d_max))
-                g_err += abs(percent_error(gini_coefficient(deg[deg > 0]), target_gini))
-            result.add(name, method, e_err / samples, d_err / samples, g_err / samples)
+                e_err.append(abs(percent_error(g.m, dist.m)))
+                d_err.append(abs(percent_error(int(deg.max()) if len(deg) else 0, dist.d_max)))
+                g_err.append(abs(percent_error(gini_coefficient(deg[deg > 0]), target_gini)))
+            # percent_error returns NaN for zero-expectation samples;
+            # average over the defined ones only
+            result.add(name, method, _nanmean(e_err), _nanmean(d_err), _nanmean(g_err))
     return result
 
 
@@ -596,6 +614,81 @@ def mixing_experiment(
     result.add("acceptance_rate", stats.acceptance_rate)
     result.add("assortativity_IACT", tau)
     result.add("gelman_rubin_r_hat", float(r_hat))
+    return result
+
+
+def observe(
+    dataset: str = "as20",
+    *,
+    swap_iterations: int = 4,
+    threads: int = 4,
+    seed: int = 21,
+    trace_path=None,
+    mixing_every: int = 2,
+    scale: float | None = None,
+) -> ExperimentResult:
+    """Traced fused run: span/report timing agreement + mixing curve.
+
+    Runs the process-backend pipeline inside a fresh
+    :class:`~repro.obs.RunTrace` (mirrored to ``trace_path`` when given,
+    e.g. via ``repro-experiments observe --trace run.jsonl``), then
+    cross-checks the observability layer against the report: per-phase
+    span durations must agree with ``GenerationReport.phase_seconds``,
+    and the mixing trajectory summarises how far the chain moved from
+    its start graph.
+    """
+    from repro.obs import RunTrace
+
+    config = ParallelConfig(threads=threads, backend="process", seed=seed)
+    dist = SPECS[dataset].synthesize(scale)
+    with RunTrace(trace_path) as tr:
+        graph, report = generate_graph(
+            dist, swap_iterations=swap_iterations, config=config,
+            mixing_every=mixing_every,
+        )
+        spans = {s["name"]: s for s in tr.spans()}
+        events = tr.events()
+    result = ExperimentResult(
+        name="observe",
+        description=f"traced fused generation run ({dataset} twin)",
+        columns=["metric", "value"],
+    )
+    result.add("edges", int(graph.m))
+    result.add("fused", bool(report.fused))
+    result.add("span_records", len(spans))
+    result.add("event_records", len(events))
+    for phase, seconds in report.phase_seconds.items():
+        span = spans.get(f"phase:{phase}")
+        if span is None:
+            result.add(f"{phase}_span_vs_report_pct", float("nan"))
+            continue
+        # relative disagreement between the span's own clock and the
+        # report's attribution; sub-millisecond phases are dominated by
+        # span bookkeeping, so guard the denominator
+        denom = max(seconds, 1e-3)
+        result.add(
+            f"{phase}_span_vs_report_pct",
+            round(100.0 * (span["dur"] - seconds) / denom, 3),
+        )
+    traj = report.swap_stats.mixing
+    if traj is not None and len(traj):
+        overlap = traj.edge_overlap()
+        result.add("mixing_samples", len(traj))
+        result.add("edge_overlap_start", float(overlap[0]))
+        result.add("edge_overlap_end", float(overlap[-1]))
+        result.add(
+            "assortativity_drift",
+            float(traj.assortativity()[-1] - traj.assortativity()[0]),
+        )
+    for counter in ("swap.rounds", "swap.accepted", "pool.spawns", "pool.respawns"):
+        result.add(counter, tr.metrics.counters.get(counter, 0.0))
+    result.series = {
+        "trajectory": traj.to_dict() if traj is not None else None,
+        "counters": dict(tr.metrics.counters),
+        "report": report,
+    }
+    if trace_path is not None:
+        result.series["trace_path"] = str(trace_path)
     return result
 
 

@@ -47,6 +47,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
 from repro.parallel import faultinject
 from repro.parallel.shm import _pid_alive
 
@@ -244,6 +245,14 @@ class CheckpointStore:
             json.dumps(manifest).encode(),
         )
         self._prune()
+        tr = obs_trace.current()
+        if tr is not None:
+            tr.event(
+                "checkpoint.write", phase=phase, seq=seq,
+                swap_round=int(swap_round), bytes=len(payload),
+            )
+            tr.metrics.inc("checkpoint.writes")
+            tr.metrics.inc("checkpoint.bytes", len(payload))
         faultinject.fire_parent("checkpoint")
         return seq
 

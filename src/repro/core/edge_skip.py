@@ -455,6 +455,8 @@ def generate_edges(
         u, v = _positions_to_edges(ids, pos, table, offsets, counts)
 
     if cost is not None:
-        depth = dist.n_classes + np.log2(max(dist.n, 2))
+        # the span estimate (class scan + per-draw binary search) can
+        # exceed the skip count on near-empty samples; cap it at the work
+        depth = min(float(total_skips), dist.n_classes + np.log2(max(dist.n, 2)))
         cost.add("edge_generation", work=float(total_skips), depth=float(depth))
     return EdgeList(u, v, dist.n)

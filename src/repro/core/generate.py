@@ -29,6 +29,7 @@ work/span cost model (scaling studies), and the swap statistics
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import time
 from dataclasses import dataclass, field, replace
@@ -40,6 +41,7 @@ from repro.core.edge_skip import fused_chunk_sample, generate_edges, prepare_spa
 from repro.core.probabilities import ProbabilityResult, generate_probabilities
 from repro.core.swap import (
     SwapStats,
+    _maybe_span,
     _stats_from_meta,
     _stats_to_meta,
     _SwapCheckpointer,
@@ -52,6 +54,9 @@ from repro.graph.degree import (
     graphicality_violation,
 )
 from repro.graph.edgelist import EdgeList
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import record_table_stats
+from repro.obs.mixing import MixingProbe
 from repro.parallel import faultinject
 from repro.parallel.cost_model import CostModel
 from repro.parallel.hashtable import (
@@ -88,6 +93,14 @@ def _generation_fingerprint(dist, swap_iterations, config, probability_kwargs) -
     )
 
 
+def _merge_phase_seconds(base: dict, tail: dict) -> dict:
+    """Per-phase sum of two timing dicts (cumulative accounting)."""
+    out = {str(k): float(s) for k, s in base.items()}
+    for k, s in tail.items():
+        out[str(k)] = out.get(str(k), 0.0) + float(s)
+    return out
+
+
 @dataclass
 class GenerationReport:
     """Everything measured during one :func:`generate_graph` run."""
@@ -96,13 +109,17 @@ class GenerationReport:
     probabilities: ProbabilityResult
     swap_stats: SwapStats
     cost: CostModel
-    #: wall seconds per phase: probabilities / edge_generation / swap
+    #: wall seconds per phase — of *this process's* execution only; on a
+    #: resumed run that is the replayed tail (see
+    #: :attr:`prior_phase_seconds` / :attr:`cumulative_phase_seconds`)
     phase_seconds: dict = field(default_factory=dict)
     edges_generated: int = 0
-    #: true end-to-end wall time measured around the whole run; set by the
-    #: fused pipeline, where phase boundaries are timestamped around the
-    #: dispatch batches and summing them would double-count overlap
+    #: true end-to-end wall time measured around this :func:`generate_graph`
+    #: call — on a resumed run, the tail only
     wall_seconds: float | None = None
+    #: cumulative per-phase seconds banked by the interrupted run(s) this
+    #: one resumed from (restored from the checkpoint); empty on a fresh run
+    prior_phase_seconds: dict = field(default_factory=dict)
     #: whether the fused process pipeline executed this run
     fused: bool = False
     #: the fused pipeline fell back down the degradation ladder mid-run
@@ -115,20 +132,33 @@ class GenerationReport:
     #: final degradation trigger when :attr:`degraded` is set
     faults: list = field(default_factory=list)
     #: this run resumed from a crash-consistent checkpoint (its
-    #: ``phase_seconds``/``cost`` cover only the replayed tail; the edge
-    #: list and swap statistics are those of the full, uninterrupted run)
+    #: ``phase_seconds``/``wall_seconds``/``cost`` cover only the replayed
+    #: tail; ``cumulative_*`` fold in the interrupted attempts' spend; the
+    #: edge list and swap statistics are those of the full run)
     resumed: bool = False
 
     @property
     def total_seconds(self) -> float:
-        """End-to-end wall time.
-
-        The fused pipeline records the true wall measurement; the phased
-        composition's phases are disjoint, so their sum is the wall time.
-        """
+        """End-to-end wall time of this call (the tail, when resumed)."""
         if self.wall_seconds is not None:
             return self.wall_seconds
         return sum(self.phase_seconds.values())
+
+    @property
+    def cumulative_phase_seconds(self) -> dict:
+        """Per-phase seconds summed over every attempt of this run.
+
+        Prior attempts' spend (restored from the checkpoint) plus this
+        call's tail.  A resumed process re-executes some work — e.g. it
+        recomputes probabilities before loading a swap snapshot — and
+        that spend is real, so phases may be counted once per attempt.
+        """
+        return _merge_phase_seconds(self.prior_phase_seconds, self.phase_seconds)
+
+    @property
+    def cumulative_seconds(self) -> float:
+        """Total seconds across every attempt: banked prior + this call."""
+        return sum(self.prior_phase_seconds.values()) + self.total_seconds
 
 
 def generate_graph(
@@ -139,6 +169,7 @@ def generate_graph(
     probabilities: ProbabilityResult | None = None,
     probability_kwargs: dict | None = None,
     callback=None,
+    mixing_every: int = 0,
     pipeline: bool | None = None,
     checkpoint_dir=None,
     checkpoint_every: int = 0,
@@ -162,6 +193,11 @@ def generate_graph(
     callback:
         Forwarded to :func:`~repro.core.swap.swap_edges` (per-iteration
         snapshots for mixing studies).
+    mixing_every:
+        When > 0, sample swap-chain mixing diagnostics every that many
+        iterations (see :mod:`repro.obs.mixing`); the trajectory lands in
+        ``report.swap_stats.mixing`` and is bitwise-identical across
+        backends for a fixed seed.
     pipeline:
         Fused-pipeline selection for ``backend="process"``: ``None``
         (default) runs the fused pipeline automatically, ``False``
@@ -198,6 +234,44 @@ def generate_graph(
     (EdgeList, GenerationReport)
     """
     config = config or ParallelConfig()
+    tr = obs_trace.current()
+    if tr is None:
+        return _generate(
+            dist, swap_iterations, config, probabilities, probability_kwargs,
+            callback, mixing_every, pipeline, checkpoint_dir, checkpoint_every,
+            resume_from,
+        )
+    with tr.span(
+        "generate", backend=config.backend, threads=config.threads,
+        n=dist.n, swap_iterations=swap_iterations,
+    ) as root:
+        out, report = _generate(
+            dist, swap_iterations, config, probabilities, probability_kwargs,
+            callback, mixing_every, pipeline, checkpoint_dir, checkpoint_every,
+            resume_from,
+        )
+        root.set(
+            fused=report.fused, degraded=report.degraded,
+            resumed=report.resumed, edges=report.edges_generated,
+        )
+        tr.metrics.set_gauge("generate.edges", report.edges_generated)
+        return out, report
+
+
+def _generate(
+    dist: DegreeDistribution,
+    swap_iterations: int,
+    config: ParallelConfig,
+    probabilities: ProbabilityResult | None,
+    probability_kwargs: dict | None,
+    callback,
+    mixing_every: int,
+    pipeline: bool | None,
+    checkpoint_dir,
+    checkpoint_every: int,
+    resume_from,
+) -> tuple[EdgeList, GenerationReport]:
+    """The untraced body of :func:`generate_graph` (same contract)."""
     violation = graphicality_violation(dist.expand())
     if violation is not None:
         raise NonGraphicalError(
@@ -221,13 +295,22 @@ def generate_graph(
             )
     cost = CostModel()
     phase_seconds: dict[str, float] = {}
+    # cumulative spend the interrupted run(s) banked in the snapshot; the
+    # tail's own timings stay separate so the report can show both
+    prior_phase_seconds: dict[str, float] = {}
+    if resume_snap is not None:
+        prior_phase_seconds = {
+            str(k): float(s)
+            for k, s in (resume_snap.meta.get("phase_seconds") or {}).items()
+        }
     wall0 = time.perf_counter()
 
     t0 = time.perf_counter()
-    if probabilities is None:
-        probabilities = generate_probabilities(
-            dist, cost=cost, **(probability_kwargs or {})
-        )
+    with _maybe_span("phase:probabilities"):
+        if probabilities is None:
+            probabilities = generate_probabilities(
+                dist, cost=cost, **(probability_kwargs or {})
+            )
     phase_seconds["probabilities"] = time.perf_counter() - t0
     if cost.phases and cost.phases[-1].name == "probabilities":
         cost.phases[-1].seconds = phase_seconds["probabilities"]
@@ -249,6 +332,7 @@ def generate_graph(
             phase_seconds=phase_seconds,
             edges_generated=int(resume_snap.meta.get("edges_generated", out.m)),
             wall_seconds=time.perf_counter() - wall0,
+            prior_phase_seconds=prior_phase_seconds,
             resumed=True,
         )
 
@@ -288,6 +372,8 @@ def generate_graph(
                     dist, swap_iterations, config, probabilities, callback,
                     attempt_cost, attempt_phases, store=store,
                     checkpoint_every=checkpoint_every, fingerprint=fingerprint,
+                    mixing_every=mixing_every,
+                    timing_base=dict(phase_seconds),
                 )
             except PoolFaultError as exc:
                 degraded = True
@@ -342,14 +428,15 @@ def generate_graph(
 
     resuming = resume_snap is not None and resume_snap.phase in ("edges", "swap")
     t0 = time.perf_counter()
-    if resuming:
-        edges = EdgeList(
-            np.ascontiguousarray(resume_snap.arrays["u"], dtype=np.int64),
-            np.ascontiguousarray(resume_snap.arrays["v"], dtype=np.int64),
-            dist.n,
-        )
-    else:
-        edges = generate_edges(probabilities.P, dist, config, cost=cost)
+    with _maybe_span("phase:edge_generation", resumed=resuming):
+        if resuming:
+            edges = EdgeList(
+                np.ascontiguousarray(resume_snap.arrays["u"], dtype=np.int64),
+                np.ascontiguousarray(resume_snap.arrays["v"], dtype=np.int64),
+                dist.n,
+            )
+        else:
+            edges = generate_edges(probabilities.P, dist, config, cost=cost)
     phase_seconds["edge_generation"] = time.perf_counter() - t0
     if cost.phases and cost.phases[-1].name == "edge_generation":
         cost.phases[-1].seconds = phase_seconds["edge_generation"]
@@ -363,22 +450,27 @@ def generate_graph(
 
     t0 = time.perf_counter()
     swap_stats = SwapStats()
-    out = swap_edges(
-        edges,
-        swap_iterations,
-        config,
-        stats=swap_stats,
-        cost=cost,
-        callback=callback,
-        checkpoint_dir=store,
-        checkpoint_every=checkpoint_every,
-        resume_from=(
-            resume_snap
-            if resume_snap is not None and resume_snap.phase == "swap"
-            else None
-        ),
-        _fingerprint=fingerprint or None,
-    )
+    with _maybe_span("phase:swap"):
+        out = swap_edges(
+            edges,
+            swap_iterations,
+            config,
+            stats=swap_stats,
+            cost=cost,
+            callback=callback,
+            mixing_every=mixing_every,
+            checkpoint_dir=store,
+            checkpoint_every=checkpoint_every,
+            resume_from=(
+                resume_snap
+                if resume_snap is not None and resume_snap.phase == "swap"
+                else None
+            ),
+            _fingerprint=fingerprint or None,
+            # mid-swap snapshots bank cumulative spend: the prior runs'
+            # plus this tail's earlier phases
+            _timing_base=_merge_phase_seconds(prior_phase_seconds, phase_seconds),
+        )
     phase_seconds["swap"] = time.perf_counter() - t0
     if store is not None:
         store.save(
@@ -387,7 +479,9 @@ def generate_graph(
             meta={
                 "stats": _stats_to_meta(swap_stats),
                 "edges_generated": edges.m,
-                "phase_seconds": dict(phase_seconds),
+                "phase_seconds": _merge_phase_seconds(
+                    prior_phase_seconds, phase_seconds
+                ),
             },
             fingerprint=fingerprint,
         )
@@ -399,6 +493,8 @@ def generate_graph(
         cost=cost,
         phase_seconds=phase_seconds,
         edges_generated=edges.m,
+        wall_seconds=time.perf_counter() - wall0,
+        prior_phase_seconds=prior_phase_seconds,
         degraded=degraded or swap_stats.degraded,
         faults=run_faults + list(swap_stats.faults),
         resumed=resume_snap is not None,
@@ -417,6 +513,8 @@ def _generate_fused(
     store=None,
     checkpoint_every: int = 0,
     fingerprint: str = "",
+    mixing_every: int = 0,
+    timing_base: dict | None = None,
 ) -> tuple[EdgeList, SwapStats, int, list] | None:
     """Fused process-parallel composition of GenerateEdges + SwapEdges.
 
@@ -436,12 +534,19 @@ def _generate_fused(
     code path in the phased composition — the caller then falls back so
     outputs stay bitwise-identical.
     """
+    # phase spans are managed through an ExitStack (not `with` blocks)
+    # because the phase boundaries straddle this function's early-return
+    # and cleanup structure; the stack is re-closed in the finally so an
+    # abandoned attempt still records its partial phase span
+    obs_spans = contextlib.ExitStack()
     t0 = time.perf_counter()
+    obs_spans.enter_context(_maybe_span("phase:edge_generation", fused=True))
     spaces = prepare_spaces(probabilities.P, dist, config)
     n_spaces = len(spaces["p"])
     if n_spaces <= 1:
         # the phased process path samples <= 1 space inline with the
         # config generator's stream; keep that exact stream by falling back
+        obs_spans.close()
         return None
     offsets = dist.class_offsets(config)
     p_threads = config.threads
@@ -540,8 +645,14 @@ def _generate_fused(
         cost.add(
             "edge_generation",
             work=float(m + n_spaces),
-            depth=float(dist.n_classes + np.log2(max(dist.n, 2))),
+            # the class-scan + log-depth span estimate can exceed the
+            # op count on tiny samples; the span is bounded by the work
+            depth=min(
+                float(m + n_spaces),
+                float(dist.n_classes + np.log2(max(dist.n, 2))),
+            ),
         )
+        obs_spans.close()
         phase_seconds["edge_generation"] = time.perf_counter() - t0
         if cost.phases and cost.phases[-1].name == "edge_generation":
             cost.phases[-1].seconds = phase_seconds["edge_generation"]
@@ -554,7 +665,15 @@ def _generate_fused(
             )
 
         t0 = time.perf_counter()
+        obs_spans.enter_context(_maybe_span("phase:swap", fused=True))
         swap_stats = SwapStats()
+        swap_callback = callback
+        if mixing_every:
+            # sample values are computed eagerly, so handing the probe
+            # views of the arrays the swap loop mutates in place is safe
+            probe = MixingProbe(EdgeList(u, v, dist.n), every=mixing_every)
+            swap_callback = probe.callback(callback)
+            swap_stats.mixing = probe.trajectory
         if swap_iterations > 0:
             # the table is sized from the now-known edge count with the
             # same geometry the phased path would use (workers_hint is the
@@ -586,16 +705,24 @@ def _generate_fused(
             ckpt = None
             if store is not None and checkpoint_every:
                 ckpt = _SwapCheckpointer(
-                    store, checkpoint_every, fingerprint, swap_iterations
+                    store, checkpoint_every, fingerprint, swap_iterations,
+                    timing_base=_merge_phase_seconds(
+                        timing_base or {}, phase_seconds
+                    ),
                 )
             u, v = fused_swap_loop(
                 u, v, swap_iterations, config, table, pool.test_and_set,
-                n_vertices=dist.n, stats=swap_stats, cost=cost, callback=callback,
-                checkpointer=ckpt,
+                n_vertices=dist.n, stats=swap_stats, cost=cost,
+                callback=swap_callback, checkpointer=ckpt,
             )
+            tr = obs_trace.current()
+            if tr is not None:
+                record_table_stats(tr.metrics, table)
+        obs_spans.close()
         phase_seconds["swap"] = time.perf_counter() - t0
         return EdgeList(u, v, dist.n), swap_stats, m, list(pool.faults)
     finally:
+        obs_spans.close()
         if pool is not None:
             pool.close()
         if table is not None:

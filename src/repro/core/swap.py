@@ -49,6 +49,7 @@ stationary distribution provably uniform.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import time
 from dataclasses import dataclass, field, replace
@@ -62,6 +63,9 @@ from repro.core.checkpoint import (
     run_fingerprint,
 )
 from repro.graph.edgelist import EdgeList
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import record_table_stats
+from repro.obs.mixing import MixingProbe, MixingTrajectory
 from repro.parallel import faultinject
 from repro.parallel.cost_model import CostModel
 from repro.parallel.faultinject import FaultEvent
@@ -109,6 +113,9 @@ class SwapStats:
     #: FaultEvent records — every supervised recovery plus the final
     #: degradation trigger, if any (also excluded from equality)
     faults: list = field(default_factory=list, compare=False)
+    #: mixing trajectory sampled along the chain (``mixing_every > 0``);
+    #: a derived observation of the edge stream, excluded from equality
+    mixing: MixingTrajectory | None = field(default=None, compare=False)
 
     def merge_from(self, other: "SwapStats") -> None:
         """Accumulate ``other`` into this instance (attempt-local merge).
@@ -131,6 +138,8 @@ class SwapStats:
         self.permutation_rounds += other.permutation_rounds
         self.degraded = self.degraded or other.degraded
         self.faults.extend(other.faults)
+        if other.mixing is not None:
+            self.mixing = other.mixing
 
     @property
     def acceptance_rate(self) -> float:
@@ -208,6 +217,8 @@ class _SwapResume:
     swapped: np.ndarray
     rng_state: dict
     stats: SwapStats
+    #: cumulative per-phase seconds of the run(s) that wrote the snapshot
+    phase_seconds: dict = field(default_factory=dict)
 
 
 def _restore_rng(rng: np.random.Generator, state: dict) -> None:
@@ -284,17 +295,40 @@ def _load_swap_resume(source, fingerprint: str, m: int) -> _SwapResume | None:
         swapped=np.ascontiguousarray(swapped, dtype=bool),
         rng_state=rng_state,
         stats=_stats_from_meta(snap.meta.get("stats")),
+        phase_seconds={
+            str(k): float(s)
+            for k, s in (snap.meta.get("phase_seconds") or {}).items()
+        },
     )
 
 
 class _SwapCheckpointer:
-    """Writes iteration-boundary snapshots into a checkpoint store."""
+    """Writes iteration-boundary snapshots into a checkpoint store.
 
-    def __init__(self, store, every: int, fingerprint: str, total: int) -> None:
+    ``timing_base`` is the cumulative per-phase seconds accrued *before*
+    this chain entered its loop — earlier phases of the current run plus
+    everything a resumed snapshot had already banked.  Every snapshot
+    persists ``timing_base + {swap: elapsed-since-construction}`` so a
+    later resume can report honest cumulative timings
+    (see :class:`~repro.core.generate.GenerationReport`).
+    """
+
+    def __init__(self, store, every: int, fingerprint: str, total: int,
+                 *, timing_base: dict | None = None) -> None:
         self.store = store
         self.every = max(int(every), 0)
         self.fingerprint = fingerprint
         self.total = int(total)
+        self.timing_base = {k: float(s) for k, s in (timing_base or {}).items()}
+        self._t0 = time.perf_counter()
+
+    def cumulative_phase_seconds(self) -> dict:
+        """``timing_base`` plus the swap seconds elapsed so far."""
+        phase_seconds = dict(self.timing_base)
+        phase_seconds["swap"] = (
+            phase_seconds.get("swap", 0.0) + time.perf_counter() - self._t0
+        )
+        return phase_seconds
 
     def after_round(self, it, u, v, swapped, rng, stats) -> None:
         """Snapshot after iteration ``it`` when the cadence says so.
@@ -314,6 +348,7 @@ class _SwapCheckpointer:
             meta={
                 "rng_state": rng.bit_generator.state,
                 "stats": _stats_to_meta(stats),
+                "phase_seconds": self.cumulative_phase_seconds(),
             },
             fingerprint=self.fingerprint,
         )
@@ -333,6 +368,12 @@ def _swap_shm_estimate(m: int, config: ParallelConfig) -> int:
     return int(table + exchange + journals)
 
 
+def _maybe_span(name: str, **attrs):
+    """A trace span when tracing is on, else a no-op context manager."""
+    tr = obs_trace.current()
+    return tr.span(name, **attrs) if tr is not None else contextlib.nullcontext()
+
+
 def swap_edges(
     graph: EdgeList,
     iterations: int,
@@ -343,10 +384,12 @@ def swap_edges(
     stats: SwapStats | None = None,
     cost: CostModel | None = None,
     callback=None,
+    mixing_every: int = 0,
     checkpoint_dir=None,
     checkpoint_every: int = 0,
     resume_from=None,
     _fingerprint: str | None = None,
+    _timing_base: dict | None = None,
 ) -> EdgeList:
     """Run ``iterations`` full parallel swap iterations over ``graph``.
 
@@ -377,6 +420,11 @@ def swap_edges(
         Optional ``callback(iteration, edge_list)`` invoked after every
         iteration — used by the mixing experiments to snapshot
         convergence without re-running.
+    mixing_every:
+        When > 0, sample mixing diagnostics (degree assortativity,
+        clustering proxy, edge overlap with the start graph — see
+        :mod:`repro.obs.mixing`) every ``mixing_every`` iterations; the
+        trajectory lands in ``stats.mixing``.  Requires ``stats``.
     checkpoint_dir:
         Directory (or :class:`~repro.core.checkpoint.CheckpointStore`)
         receiving crash-consistent snapshots.  Requires
@@ -411,6 +459,14 @@ def swap_edges(
     check_loops = space in ("simple", "multigraph")
     m = len(graph.u)
 
+    probe = None
+    if mixing_every:
+        if stats is None:
+            raise ValueError("mixing_every requires a stats accumulator")
+        probe = MixingProbe(graph, every=mixing_every)
+        callback = probe.callback(callback)
+        stats.mixing = probe.trajectory
+
     if checkpoint_every < 0:
         raise ValueError("checkpoint_every must be >= 0")
     if checkpoint_every and checkpoint_dir is None:
@@ -426,10 +482,23 @@ def swap_edges(
         fingerprint = _fingerprint or _swap_fingerprint(
             graph, iterations, config, space, probing
         )
-        if store is not None and checkpoint_every:
-            ckpt = _SwapCheckpointer(store, checkpoint_every, fingerprint, iterations)
         if resume_from is not None:
             resume_state = _load_swap_resume(resume_from, fingerprint, m)
+        if store is not None and checkpoint_every:
+            # snapshots persist cumulative timings: the caller's base
+            # (generate_graph threads earlier phases + any resumed prior
+            # through ``_timing_base``) or, standalone, whatever the
+            # resumed snapshot had already banked
+            if _timing_base is not None:
+                base = _timing_base
+            elif resume_state is not None:
+                base = resume_state.phase_seconds
+            else:
+                base = None
+            ckpt = _SwapCheckpointer(
+                store, checkpoint_every, fingerprint, iterations,
+                timing_base=base,
+            )
 
     # Backend dispatch for the TestAndSet engine.  All three backends
     # produce identical verdicts (set membership with first-occurrence
@@ -453,12 +522,14 @@ def swap_edges(
         try:
             if shm.HAVE_SHM:
                 try:
-                    return _swap_edges_process(
-                        graph, iterations, config, probing=probing,
-                        check_loops=check_loops, stats=stats, cost=cost,
-                        callback=callback, checkpointer=ckpt,
-                        resume_state=resume_state,
-                    )
+                    with _maybe_span("swap:chain", backend="process",
+                                     iterations=iterations, m=m):
+                        return _swap_edges_process(
+                            graph, iterations, config, probing=probing,
+                            check_loops=check_loops, stats=stats, cost=cost,
+                            callback=callback, checkpointer=ckpt,
+                            resume_state=resume_state,
+                        )
                 except PoolFaultError as exc:
                     fall_faults = list(exc.faults)
                 except OSError:
@@ -470,6 +541,11 @@ def swap_edges(
         if stats is not None:
             stats.degraded = True
             stats.faults.extend(fall_faults)
+        tr = obs_trace.current()
+        if tr is not None:
+            tr.event("pool.degraded", to_backend="vectorized",
+                     faults=len(fall_faults))
+            tr.metrics.inc("pool.degradations")
         # note: a callback that observed iterations of the failed attempt
         # will observe the (identical) iterations again from 0 — unless
         # the attempt left durable snapshots, in which case the fallback
@@ -503,11 +579,16 @@ def swap_edges(
         if config.backend == "serial"
         else table.test_and_set
     )
-    u, v = _swap_loop(
-        u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
-        check_duplicates, check_loops, loop_stats, cost, callback, graph.n,
-        start_iteration=start_it, checkpointer=ckpt,
-    )
+    with _maybe_span("swap:chain", backend=config.backend,
+                     iterations=iterations, m=m):
+        u, v = _swap_loop(
+            u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
+            check_duplicates, check_loops, loop_stats, cost, callback, graph.n,
+            start_iteration=start_it, checkpointer=ckpt,
+        )
+    tr = obs_trace.current()
+    if tr is not None:
+        record_table_stats(tr.metrics, table)
     if local is not None and stats is not None:
         stats.merge_from(local)
     return EdgeList(u, v, graph.n)
@@ -583,6 +664,9 @@ def _swap_edges_process(
             stats.faults.extend(engine.faults)
         if cost is not None:
             cost.merge(local_cost)
+        tr = obs_trace.current()
+        if tr is not None:
+            record_table_stats(tr.metrics, table)
         return EdgeList(u, v, graph.n)
     finally:
         if engine is not None:
@@ -702,9 +786,24 @@ def _swap_loop(
             stats.permutation_rounds += perm_stats.rounds
         if cost is not None:
             elapsed = time.perf_counter() - t0
-            logm = np.log2(max(m, 2))
             cost.add("permutation", work=float(perm_stats.attempts * 2), depth=float(perm_stats.rounds), seconds=elapsed * 0.4)
-            cost.add("swap", work=float(2 * m), depth=float(4 + (table.stats.failures - failures_before > 0)), seconds=elapsed * 0.6)
+            # the O(1) proposal span can exceed 2m ops only on degenerate
+            # near-empty inputs; the span is capped by the work by definition
+            swap_depth = min(float(2 * m), float(4 + (table.stats.failures - failures_before > 0)))
+            cost.add("swap", work=float(2 * m), depth=swap_depth, seconds=elapsed * 0.6)
+        tr = obs_trace.current()
+        if tr is not None:
+            tr.event(
+                "swap.round",
+                iteration=it,
+                proposed=n_pairs,
+                accepted=accepted,
+                permutation_rounds=perm_stats.rounds,
+                seconds=round(time.perf_counter() - t0, 9),
+            )
+            tr.metrics.inc("swap.rounds")
+            tr.metrics.inc("swap.proposed", n_pairs)
+            tr.metrics.inc("swap.accepted", accepted)
         if callback is not None:
             callback(it, EdgeList(u.copy(), v.copy(), n_vertices))
         if checkpointer is not None:

@@ -67,7 +67,9 @@ def chung_lu_om(
     v = draws[1::2]
     if cost is not None:
         per_draw = np.log2(max(dist.n, 2)) if sampler == "binary" else 1.0
-        cost.add("draws", work=n_draws * per_draw, depth=per_draw)
+        # a zero-stub distribution does no draws, so its span is 0 too
+        cost.add("draws", work=n_draws * per_draw,
+                 depth=per_draw if n_draws else 0.0)
     return EdgeList(u, v, dist.n)
 
 
@@ -85,5 +87,7 @@ def erased_chung_lu(
     """
     graph = chung_lu_om(dist, config, sampler=sampler, cost=cost)
     if cost is not None:
-        cost.add("erase", work=graph.m, depth=np.log2(max(graph.m, 2)))
+        # for m <= 2 the log2 span estimate exceeds the edge count itself
+        cost.add("erase", work=graph.m,
+                 depth=min(float(graph.m), np.log2(max(graph.m, 2))))
     return graph.simplify()

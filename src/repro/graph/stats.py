@@ -48,9 +48,15 @@ def gini_coefficient(values) -> float:
 
 
 def percent_error(actual: float, expected: float) -> float:
-    """Signed percentage error of ``actual`` against ``expected``."""
+    """Signed percentage error of ``actual`` against ``expected``.
+
+    A zero expectation makes the relative error undefined: the result is
+    0.0 when the actual value is also zero (no error) and NaN otherwise,
+    so that aggregations can skip it (``np.nanmean``) instead of being
+    poisoned by an infinity that also breaks JSON serialization.
+    """
     if expected == 0:
-        return 0.0 if actual == 0 else float("inf")
+        return 0.0 if actual == 0 else float("nan")
     return 100.0 * (actual - expected) / expected
 
 
@@ -73,7 +79,11 @@ def degree_error_by_degree(
         number of vertices realized with degree exactly ``d``.
     """
     realized = np.asarray(realized, dtype=np.int64)
-    realized = realized[realized > 0]
+    # count against the FULL realized sequence: vertices realized with
+    # degree 0 still existed and still failed to land in their target
+    # class.  (Degree 0 is never a target class — DegreeDistribution
+    # requires positive degrees — so class_of_degree maps it to -1 and
+    # the mask below drops it from `got` without shifting other counts.)
     got = np.zeros(target.n_classes, dtype=np.int64)
     vals, counts = np.unique(realized, return_counts=True)
     cls = target.class_of_degree(vals)

@@ -1,0 +1,183 @@
+"""Counters, gauges, and histograms for a single run.
+
+The registry is deliberately tiny: plain dicts keyed by metric name, no
+label cardinality, no background threads.  Hot paths never touch it
+directly — instrumentation sites ask :func:`repro.obs.trace.current`
+first and skip everything when tracing is off, so the disabled cost is
+one global read.  The expensive sources (per-shard shared-memory
+counters, probe-length distributions) are ingested *once per phase* via
+:func:`record_table_stats`, not per operation.
+
+Timers are sampled: a :class:`SampledTimer` counts every call but only
+reads the clock on every ``sample_every``-th one, bounding overhead on
+per-iteration sites while still estimating the latency distribution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Histogram", "Metrics", "SampledTimer", "record_table_stats"]
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max).
+
+    Quantile sketches are out of scope; mean plus extremes is enough to
+    spot pathological probe chains or batch latencies in a run summary.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        """Fold one value into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def observe_many(self, values) -> None:
+        """Fold an iterable of values into the summary."""
+        for v in values:
+            self.observe(float(v))
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of observed values (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-safe summary (count/total/mean/min/max)."""
+        if not self.count:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class SampledTimer:
+    """Times every ``sample_every``-th call; counts all of them.
+
+    Usage (per-iteration hot path)::
+
+        with metrics.timer("swap.iteration", sample_every=16):
+            ...
+
+    ``<name>.calls`` counts invocations; the histogram ``<name>``
+    collects only sampled durations.
+    """
+
+    __slots__ = ("_metrics", "_name", "_every", "_t0")
+
+    def __init__(self, metrics: "Metrics", name: str, sample_every: int):
+        self._metrics = metrics
+        self._name = name
+        self._every = max(1, int(sample_every))
+        self._t0: float | None = None
+
+    def __enter__(self) -> "SampledTimer":
+        n = self._metrics.inc(f"{self._name}.calls")
+        if (n - 1) % self._every == 0:
+            self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._t0 is not None:
+            self._metrics.observe(self._name, time.perf_counter() - self._t0)
+            self._t0 = None
+
+
+class Metrics:
+    """A per-run registry of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def inc(self, name: str, value: float = 1.0) -> float:
+        """Add ``value`` to counter ``name``; returns the new total."""
+        total = self.counters.get(name, 0.0) + float(value)
+        self.counters[name] = total
+        return total
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest value (last write wins)."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one value into histogram ``name`` (created on demand)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def observe_many(self, name: str, values) -> None:
+        """Fold an iterable into histogram ``name`` (created on demand)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe_many(values)
+
+    def timer(self, name: str, *, sample_every: int = 1) -> SampledTimer:
+        """Context manager timing every ``sample_every``-th entry."""
+        return SampledTimer(self, name, sample_every)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe dump of the whole registry."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+        }
+
+
+def record_table_stats(metrics: Metrics, table, *, prefix: str = "swap.table") -> None:
+    """Ingest a hash table's accumulated statistics into ``metrics``.
+
+    Works on both table flavors by duck typing:
+
+    - :class:`~repro.parallel.hashtable.ShardedEdgeHashTable` exposes
+      ``per_shard_stats()`` (per-shard shared-memory counter arrays);
+      shard totals become counters, per-shard probe-advance and
+      max-probe distributions become histograms.
+    - :class:`~repro.parallel.hashtable.ConcurrentEdgeHashTable` exposes
+      only aggregate ``.stats`` (and ``.max_probe``), recorded as
+      counters/gauges.
+
+    Counters are *cumulative over the table's lifetime*; call this once
+    when a phase ends, not per batch.
+    """
+    per_shard = getattr(table, "per_shard_stats", None)
+    if callable(per_shard):
+        shard_stats = per_shard()
+        for column, values in shard_stats.items():
+            if column != "max_probe":  # maxima don't sum; see gauge below
+                metrics.inc(f"{prefix}.{column}", float(values.sum()))
+            if column in ("probe_adv", "max_probe"):
+                metrics.observe_many(f"{prefix}.shard.{column}", values)
+        if "max_probe" in shard_stats:
+            metrics.set_gauge(f"{prefix}.max_probe",
+                              float(shard_stats["max_probe"].max(initial=0)))
+        return
+    stats = getattr(table, "stats", None)
+    if stats is not None:
+        metrics.inc(f"{prefix}.attempts", float(stats.attempts))
+        metrics.inc(f"{prefix}.failures", float(stats.failures))
+        metrics.inc(f"{prefix}.rounds", float(stats.rounds))
+    max_probe = getattr(table, "max_probe", None)
+    if max_probe is not None:
+        metrics.set_gauge(f"{prefix}.max_probe", float(max_probe))

@@ -1,0 +1,155 @@
+"""Trace-schema validation for JSONL files written by :class:`RunTrace`.
+
+The schema is deliberately small and versioned; CI runs this module as
+a script (``python -m repro.obs.schema trace.jsonl``) against a traced
+smoke run.  Because span records are emitted when spans *close*,
+children precede their parents in the file — validation is therefore
+two-pass: collect every span id, then check parent references and
+containment.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Iterable
+
+__all__ = ["TRACE_SCHEMA_VERSION", "TraceSchemaError", "validate_trace",
+           "validate_trace_file"]
+
+TRACE_SCHEMA_VERSION = 1
+
+#: required keys per record kind
+_REQUIRED = {
+    "meta": {"kind", "name", "schema", "run_id", "pid", "ts"},
+    "span": {"kind", "name", "id", "parent", "ts", "dur", "attrs"},
+    "event": {"kind", "name", "id", "parent", "ts", "attrs"},
+}
+
+#: slack for span-containment checks: a child's recorded interval may
+#: exceed its parent's by the cost of the bookkeeping between the two
+#: clock reads
+_EPSILON = 1e-3
+
+
+class TraceSchemaError(ValueError):
+    """A record (or the record stream) violates the trace schema."""
+
+
+def _check_record(i: int, rec: dict) -> None:
+    if not isinstance(rec, dict):
+        raise TraceSchemaError(f"record {i}: not an object: {rec!r}")
+    kind = rec.get("kind")
+    if kind not in _REQUIRED:
+        raise TraceSchemaError(f"record {i}: unknown kind {kind!r}")
+    missing = _REQUIRED[kind] - rec.keys()
+    if missing:
+        raise TraceSchemaError(f"record {i}: {kind} missing keys {sorted(missing)}")
+    if not isinstance(rec["name"], str) or not rec["name"]:
+        raise TraceSchemaError(f"record {i}: name must be a non-empty string")
+    if not isinstance(rec["ts"], (int, float)) or rec["ts"] < 0:
+        raise TraceSchemaError(f"record {i}: ts must be a non-negative number")
+    if kind == "meta":
+        if rec["schema"] != TRACE_SCHEMA_VERSION:
+            raise TraceSchemaError(
+                f"record {i}: schema {rec['schema']!r}, expected "
+                f"{TRACE_SCHEMA_VERSION}")
+    else:
+        if not isinstance(rec["id"], int) or rec["id"] < 1:
+            raise TraceSchemaError(f"record {i}: id must be a positive int")
+        parent = rec["parent"]
+        if parent is not None and not isinstance(parent, int):
+            raise TraceSchemaError(f"record {i}: parent must be an int or null")
+        if not isinstance(rec["attrs"], dict):
+            raise TraceSchemaError(f"record {i}: attrs must be an object")
+    if kind == "span":
+        if not isinstance(rec["dur"], (int, float)) or rec["dur"] < 0:
+            raise TraceSchemaError(f"record {i}: dur must be a non-negative number")
+
+
+def validate_trace(records: Iterable[dict]) -> dict:
+    """Validate a record stream; returns a summary dict.
+
+    Checks: the stream opens with a versioned meta record, ids are
+    unique, every parent reference resolves to a span, and every child
+    interval lies within its parent's (±``_EPSILON`` seconds).  Raises
+    :class:`TraceSchemaError` on the first violation.
+    """
+    records = list(records)
+    if not records:
+        raise TraceSchemaError("empty trace")
+    for i, rec in enumerate(records):
+        _check_record(i, rec)
+    if records[0]["kind"] != "meta":
+        raise TraceSchemaError("first record must be the run meta record")
+    if sum(1 for r in records if r["kind"] == "meta") != 1:
+        raise TraceSchemaError("trace must contain exactly one meta record")
+
+    spans = {r["id"]: r for r in records if r["kind"] == "span"}
+    seen_ids: set[int] = set()
+    for i, rec in enumerate(records):
+        if rec["kind"] == "meta":
+            continue
+        if rec["id"] in seen_ids:
+            raise TraceSchemaError(f"record {i}: duplicate id {rec['id']}")
+        seen_ids.add(rec["id"])
+        parent = rec["parent"]
+        if parent is None:
+            continue
+        pspan = spans.get(parent)
+        if pspan is None:
+            raise TraceSchemaError(
+                f"record {i}: parent {parent} is not a span in this trace")
+        if rec["ts"] < pspan["ts"] - _EPSILON:
+            raise TraceSchemaError(
+                f"record {i}: starts before its parent span {parent}")
+        end = rec["ts"] + rec.get("dur", 0.0)
+        if end > pspan["ts"] + pspan["dur"] + _EPSILON:
+            raise TraceSchemaError(
+                f"record {i}: ends after its parent span {parent}")
+    roots = [r for r in records
+             if r["kind"] == "span" and r["parent"] is None]
+    return {
+        "records": len(records),
+        "spans": len(spans),
+        "events": sum(1 for r in records if r["kind"] == "event"),
+        "roots": [r["name"] for r in roots],
+        "run_id": records[0]["run_id"],
+    }
+
+
+def validate_trace_file(path) -> dict:
+    """Parse and validate a JSONL trace file; returns the summary."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(f"{path}:{lineno}: bad JSON: {exc}") from exc
+    return validate_trace(records)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: validate each trace file argument; non-zero exit on error."""
+    paths = (argv if argv is not None else sys.argv[1:])
+    if not paths:
+        print("usage: python -m repro.obs.schema TRACE.jsonl [...]",
+              file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            summary = validate_trace_file(path)
+        except (TraceSchemaError, OSError) as exc:
+            print(f"{path}: INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"{path}: ok — {summary['spans']} spans, "
+              f"{summary['events']} events, roots={summary['roots']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,8 +55,13 @@ class PhaseCost:
         if self.work < 0 or self.depth < 0 or self.seconds < 0:
             raise ValueError("work, depth and seconds must be non-negative")
         if self.depth > self.work:
-            # the span can never exceed the total work
-            self.depth = self.work
+            # the span can never exceed the total work; a violation is a
+            # caller accounting bug, not something to paper over
+            raise ValueError(
+                f"phase {self.name!r}: depth {self.depth} exceeds work "
+                f"{self.work}; the critical path cannot be longer than the "
+                f"total operation count"
+            )
 
     def simulated_seconds(self, threads: int) -> float:
         """Brent-bound time of this phase on ``threads`` threads."""

@@ -72,6 +72,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
 from repro.parallel import faultinject
 from repro.parallel.faultinject import FaultEvent
 from repro.parallel.hashtable import ShardedEdgeHashTable, ShardJournal
@@ -255,6 +256,9 @@ def _pipeline_worker(
     """
     faultinject.disarm_shm_faults()
     faultinject.disarm_parent_faults()
+    # sever any RunTrace inherited over fork: emission is parent-side
+    # only (a worker writing the shared JSONL handle would corrupt it)
+    obs_trace.reset_for_worker()
     parent_pid = os.getppid()
     injector = (
         faultinject.WorkerInjector(fault_plan, worker_id)
@@ -451,6 +455,10 @@ class PipelineWorkerPool:
         )
         self._procs[w] = proc
         proc.start()
+        tr = obs_trace.current()
+        if tr is not None:
+            tr.event("pool.worker_spawn", worker=w, pid=proc.pid)
+            tr.metrics.inc("pool.spawns")
 
     def _set_bind(
         self,
@@ -584,6 +592,7 @@ class PipelineWorkerPool:
         ):
             dq.popleft()
         op = dq[0][1][0] if dq else None
+        tr = obs_trace.current()
         if self._restarts >= self._max_restarts:
             outstanding = {idx for d in pending.values() for idx, _ in d}
             completed = sorted(set(range(n_jobs)) - outstanding)
@@ -592,7 +601,15 @@ class PipelineWorkerPool:
             # undo the half-applied batch so shared state stays coherent
             # for whoever inspects it post-mortem
             if self._journals and self._table is not None:
-                self._journals[w].rollback(self._table, self._owned_shards(w))
+                rolled = self._journals[w].rollback(self._table, self._owned_shards(w))
+                if tr is not None and rolled:
+                    tr.event("pool.journal_rollback", worker=w, op=op)
+                    tr.metrics.inc("pool.journal_rollbacks")
+            if tr is not None:
+                tr.event(
+                    "pool.budget_exhausted", worker=w, kind=kind, op=op,
+                    restarts=self._restarts,
+                )
             faults = list(self.faults)
             self.close()
             raise PoolFaultError(
@@ -608,7 +625,10 @@ class PipelineWorkerPool:
         # roll this worker's shards back to their pre-batch state; other
         # workers' shards are untouched (single-writer ownership)
         if self._journals and self._table is not None:
-            self._journals[w].rollback(self._table, self._owned_shards(w))
+            rolled = self._journals[w].rollback(self._table, self._owned_shards(w))
+            if tr is not None and rolled:
+                tr.event("pool.journal_rollback", worker=w, op=op)
+                tr.metrics.inc("pool.journal_rollbacks")
         if self._plan is not None:
             # the spec that downed this incarnation has fired; disarm it
             # so the respawn (whose op counters restart at zero) doesn't
@@ -619,6 +639,14 @@ class PipelineWorkerPool:
         except Exception:  # pragma: no cover - already torn down
             pass
         self._spawn(w)
+        if tr is not None:
+            tr.event(
+                "pool.worker_respawn", worker=w, kind=kind, op=op,
+                restart=self._restarts, replayed=len(dq),
+            )
+            tr.metrics.inc("pool.respawns")
+            if dq:
+                tr.metrics.inc("pool.batches_replayed", len(dq))
         for _, msg in dq:
             self._task_queues[w].put(msg)
 

@@ -68,8 +68,13 @@ class TestPercentError:
     def test_zero_expected_zero_actual(self):
         assert percent_error(0, 0) == 0.0
 
-    def test_zero_expected_nonzero(self):
-        assert percent_error(1, 0) == float("inf")
+    def test_zero_expected_nonzero_is_nan(self):
+        # undefined, not infinite: NaN propagates cleanly through
+        # nan-aware aggregations instead of poisoning means with inf
+        assert np.isnan(percent_error(1, 0))
+
+    def test_zero_expected_negative_actual_is_nan(self):
+        assert np.isnan(percent_error(-1, 0))
 
 
 class TestDegreeErrorByDegree:
@@ -88,6 +93,21 @@ class TestDegreeErrorByDegree:
         seq = np.concatenate([small_dist.expand(), [40, 40]])
         _, err = degree_error_by_degree(small_dist, seq)
         np.testing.assert_allclose(err, 0.0)
+
+    def test_counts_full_realized_sequence(self, small_dist):
+        """Regression: isolated (degree-0) vertices must not shift the
+        per-class counts — the full sequence is classified as-is, with
+        degree 0 falling outside every class."""
+        seq = small_dist.expand()
+        with_isolated = np.concatenate([seq, np.zeros(5, dtype=seq.dtype)])
+        _, err_full = degree_error_by_degree(small_dist, with_isolated)
+        _, err_plain = degree_error_by_degree(small_dist, seq)
+        np.testing.assert_array_equal(err_full, err_plain)
+
+    def test_all_isolated_realized_is_total_deficit(self, small_dist):
+        seq = np.zeros(small_dist.n, dtype=np.int64)
+        _, err = degree_error_by_degree(small_dist, seq)
+        np.testing.assert_allclose(err, -100.0)
 
 
 class TestAssortativity:

@@ -1,0 +1,93 @@
+"""Tests for the trace-schema validator."""
+
+import pytest
+
+from repro.obs import RunTrace, TraceSchemaError, validate_trace
+from repro.obs.schema import main as schema_main
+
+
+def _good_records():
+    with RunTrace() as tr:
+        with tr.span("a"):
+            with tr.span("b"):
+                tr.event("tick", k=1)
+    return tr.records()
+
+
+class TestValidateTrace:
+    def test_accepts_real_trace(self):
+        summary = validate_trace(_good_records())
+        assert summary["spans"] == 2
+        assert summary["roots"] == ["a"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceSchemaError, match="empty"):
+            validate_trace([])
+
+    def test_rejects_missing_meta(self):
+        recs = [r for r in _good_records() if r["kind"] != "meta"]
+        with pytest.raises(TraceSchemaError, match="meta"):
+            validate_trace(recs)
+
+    def test_rejects_duplicate_meta(self):
+        recs = _good_records()
+        with pytest.raises(TraceSchemaError, match="exactly one meta"):
+            validate_trace([recs[0]] + recs)
+
+    def test_rejects_unknown_kind(self):
+        recs = _good_records()
+        bad = dict(recs[1], kind="zzz")
+        with pytest.raises(TraceSchemaError, match="unknown kind"):
+            validate_trace([recs[0], bad])
+
+    def test_rejects_missing_keys(self):
+        recs = _good_records()
+        bad = {k: v for k, v in recs[1].items() if k != "ts"}
+        with pytest.raises(TraceSchemaError, match="missing keys"):
+            validate_trace([recs[0], bad])
+
+    def test_rejects_duplicate_ids(self):
+        recs = _good_records()
+        span = next(r for r in recs if r["kind"] == "span")
+        with pytest.raises(TraceSchemaError, match="duplicate id"):
+            validate_trace(recs + [span])
+
+    def test_rejects_dangling_parent(self):
+        recs = _good_records()
+        span = next(r for r in recs if r["kind"] == "span")
+        bad = dict(span, id=999, parent=998)
+        with pytest.raises(TraceSchemaError, match="not a span"):
+            validate_trace(recs + [bad])
+
+    def test_rejects_child_outside_parent(self):
+        recs = _good_records()
+        parent = next(r for r in recs if r["name"] == "a")
+        escape = dict(parent, id=999, name="late", parent=parent["id"],
+                      ts=parent["ts"] + parent["dur"] + 1.0, dur=0.0)
+        with pytest.raises(TraceSchemaError, match="parent"):
+            validate_trace(recs + [escape])
+
+    def test_rejects_wrong_schema_version(self):
+        recs = _good_records()
+        recs[0] = dict(recs[0], schema=999)
+        with pytest.raises(TraceSchemaError, match="schema"):
+            validate_trace(recs)
+
+
+class TestCli:
+    def test_ok_file(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        with RunTrace(path) as tr:
+            with tr.span("a"):
+                pass
+        assert schema_main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "event"}\n')
+        assert schema_main([str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_no_args_usage(self, capsys):
+        assert schema_main([]) == 2

@@ -20,9 +20,14 @@ class TestPhaseCost:
         p = PhaseCost("x", work=100, depth=10, seconds=1.0)
         assert p.simulated_seconds(10**6) >= 10 / 100
 
-    def test_depth_clamped_to_work(self):
-        p = PhaseCost("x", work=5, depth=50)
-        assert p.depth == 5
+    def test_depth_exceeding_work_rejected(self):
+        """depth > work breaks the Brent bound; it is a caller bug, not
+        something to clamp silently."""
+        with pytest.raises(ValueError, match="exceeds work"):
+            PhaseCost("x", work=5, depth=50)
+
+    def test_depth_equal_to_work_accepted(self):
+        assert PhaseCost("x", work=5, depth=5).depth == 5
 
     def test_zero_work(self):
         assert PhaseCost("x", work=0, depth=0).simulated_seconds(4) == 0.0
