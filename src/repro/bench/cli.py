@@ -66,6 +66,7 @@ EXPERIMENTS = {
     "sec8c": experiments.sec8c,
     "scaling": experiments.scaling,
     "pipeline": experiments.pipeline,
+    "suite": experiments.suite,
     "lfr": experiments.lfr_experiment,
     "directed": experiments.directed_experiment,
     "corrections": experiments.corrections_experiment,

@@ -21,6 +21,7 @@ from repro.bench.harness import (
     Timer,
     generate_with_method,
     pipeline_benchmark,
+    suite_benchmark,
     uniform_reference,
 )
 from repro.core.generate import generate_graph
@@ -55,6 +56,7 @@ __all__ = [
     "sec8c",
     "scaling",
     "pipeline",
+    "suite",
     "lfr_experiment",
     "directed_experiment",
     "corrections_experiment",
@@ -359,6 +361,21 @@ def pipeline(
     return pipeline_benchmark(
         dist, dataset=dataset, swap_iterations=swap_iterations,
         threads=threads, seed=seed,
+    )
+
+
+def suite(
+    datasets: tuple[str, ...] = ("Meso", "as20", "WikiTalk"),
+    *,
+    swap_iterations: int = 1,
+    threads: int = 8,
+    seed: int = 5,
+    scale: float | None = None,
+) -> ExperimentResult:
+    """Tracked perf suite: datasets × backends × autotune (BENCH_suite.json)."""
+    dists = {name: SPECS[name].synthesize(scale) for name in datasets}
+    return suite_benchmark(
+        dists, swap_iterations=swap_iterations, threads=threads, seed=seed,
     )
 
 

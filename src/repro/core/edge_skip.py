@@ -304,6 +304,22 @@ def _chunk_kernel(
     counts: np.ndarray,
 ) -> np.ndarray:
     """Process-backend kernel: sample spaces [lo, hi), return (k, 2) edges."""
+    u, v = _chunk_sample(
+        lo, hi, seed, i_cls, j_cls, p, end, base, offsets, counts
+    )
+    return np.stack([u, v], axis=1)
+
+
+def _chunk_sample(
+    lo, hi, seed, i_cls, j_cls, p, end, base, offsets, counts
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample spaces [lo, hi); returns contiguous 1-D endpoint arrays.
+
+    Shared by :func:`_chunk_kernel` (which stacks the pair layout) and
+    :func:`fused_chunk_sample` (which packs keys straight from the
+    contiguous endpoints before stacking — one pass over cache-friendly
+    1-D arrays instead of strided columns of the ``(k, 2)`` matrix).
+    """
     sub = {
         "i": i_cls[lo:hi],
         "j": j_cls[lo:hi],
@@ -313,8 +329,7 @@ def _chunk_kernel(
     }
     rng = np.random.default_rng(seed)
     ids, pos, _ = _sample_spaces(sub, rng)
-    u, v = _positions_to_edges(ids, pos, sub, offsets, counts)
-    return np.stack([u, v], axis=1)
+    return _positions_to_edges(ids, pos, sub, offsets, counts)
 
 
 def prepare_spaces(
@@ -350,7 +365,7 @@ def fused_chunk_sample(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Fused-pipeline chunk kernel: edges plus owner-grouped packed keys.
 
-    Runs :func:`_chunk_kernel` over spaces ``[lo, hi)`` of the prepared
+    Runs :func:`_chunk_sample` over spaces ``[lo, hi)`` of the prepared
     table in ``ctx`` and additionally packs each edge into its canonical
     64-bit key and groups the keys by owning pipeline worker
     (``shard % n_owners``, with the table geometry precomputed via
@@ -365,12 +380,13 @@ def fused_chunk_sample(
     """
     from repro.parallel.hashtable import pack_edges, shard_of_keys
 
-    pairs = _chunk_kernel(
+    u, v = _chunk_sample(
         lo, hi, seed,
         ctx["i"], ctx["j"], ctx["p"], ctx["end"], ctx["base"],
         ctx["offsets"], ctx["counts"],
     )
-    keys = pack_edges(pairs[:, 0], pairs[:, 1])
+    keys = pack_edges(u, v)
+    pairs = np.stack([u, v], axis=1)
     owner = shard_of_keys(keys, n_shards) % n_owners
     order = np.argsort(owner, kind="stable")
     owner_counts = np.bincount(owner, minlength=n_owners).astype(np.int64)

@@ -58,6 +58,7 @@ from repro.obs import trace as obs_trace
 from repro.obs.metrics import record_table_stats
 from repro.obs.mixing import MixingProbe
 from repro.parallel import faultinject
+from repro.parallel.autotune import TuneSnapshot, plan_generation, plan_swap
 from repro.parallel.cost_model import CostModel
 from repro.parallel.hashtable import (
     ShardedEdgeHashTable,
@@ -559,6 +560,34 @@ def _generate_fused(
     ]
     n_owners = config.processes or available_workers(config.threads)
     n_shards = effective_shard_count(config.shards or None, config.threads)
+    if config.autotune:
+        # pre-generation re-plan: shard geometry is baked into the gen
+        # workers' key grouping, so workers and shards must be decided
+        # *now*, from the expected edge count Σ p·|space| and the
+        # measured probabilities phase as a per-op cost calibration
+        expected_edges = int(round(float((spaces["p"] * spaces["end"]).sum())))
+        try:
+            prob_cost = cost.phase("probabilities")
+        except KeyError:
+            prob_cost = None
+        plan = plan_generation(
+            config,
+            expected_edges=expected_edges,
+            host_workers=available_workers(config.threads),
+            probability_cost=prob_cost,
+        )
+        applied = plan.processes != n_owners or plan.shards != n_shards
+        tr = obs_trace.current()
+        if tr is not None:
+            tr.event(
+                "tune.replan", phase="generation", applied=applied,
+                workers=plan.processes, shards=plan.shards,
+                batch_size=plan.batch_size,
+                expected_edges=expected_edges, reason=plan.reason,
+            )
+            tr.metrics.inc("tune.replans")
+        n_owners = plan.processes
+        n_shards = plan.shards
 
     # per-chunk buffer capacity: expectation plus six-sigma Poisson slack
     expect = [
@@ -580,7 +609,7 @@ def _generate_fused(
     footprint = cap_total * 24 + len(jobs) * n_owners * 8
     if swap_iterations > 0:
         footprint += estimate_table_nbytes(
-            2 * cap_total + 16, config.shards or None, config.threads
+            2 * cap_total + 16, n_shards, config.threads
         )
         footprint += cap_total * 9  # tas key + flag exchange buffers
 
@@ -680,13 +709,39 @@ def _generate_fused(
             # logical thread count, so per-shard layouts match bit for bit)
             table = ShardedEdgeHashTable(
                 2 * m + 16,
-                n_shards=config.shards or None,
+                n_shards=n_shards,
                 workers_hint=config.threads,
                 arena=arena,
             )
-            tas_keys = arena.allocate("tas_keys", (m,), np.int64)
-            tas_flags = arena.allocate("tas_flags", (m,), np.uint8)
-            pool.bind(table, tas_keys, tas_flags)
+            # exchange capacity: the only post-generation knob the fused
+            # path can re-plan (workers and shards are baked into the
+            # generated key grouping); a smaller buffer bounds /dev/shm
+            # and splits oversized TAS batches into sequential
+            # sub-batches with identical verdicts
+            capacity = m
+            if config.batch_size:
+                capacity = min(m, max(1, config.batch_size))
+            elif config.autotune:
+                snap = TuneSnapshot(
+                    edges=m,
+                    host_workers=available_workers(config.threads),
+                    workers=pool.n_workers,
+                    shards=table.n_shards,
+                    batch_size=m,
+                )
+                batch_plan = plan_swap(config, snap)
+                capacity = min(m, batch_plan.batch_size)
+                tr = obs_trace.current()
+                if tr is not None:
+                    tr.event(
+                        "tune.replan", phase="swap_setup",
+                        applied=capacity != m, workers=pool.n_workers,
+                        shards=table.n_shards, batch_size=capacity,
+                        edges=m, reason=batch_plan.reason,
+                    )
+                    tr.metrics.inc("tune.replans")
+            tas_keys = arena.allocate("tas_keys", (capacity,), np.int64)
+            tas_flags = arena.allocate("tas_flags", (capacity,), np.uint8)
             # zero-rebuild handoff: worker w inserts its own key groups,
             # concatenated in chunk order == global edge order, so the
             # swap loop starts with the table registered for iteration 0
@@ -701,7 +756,9 @@ def _generate_fused(
                     if kw:
                         spans[w].append((desc, off, off + kw))
                     off += kw
-            pool.insert(spans)
+            # fused bind+insert: one message round instead of the former
+            # bind barrier followed by an insert round
+            pool.bind_insert(table, tas_keys, tas_flags, spans)
             ckpt = None
             if store is not None and checkpoint_every:
                 ckpt = _SwapCheckpointer(

@@ -101,9 +101,14 @@ class SwapStats:
     accepted_per_iteration: list[int] = field(default_factory=list)
     #: per-iteration fraction of edges that have swapped at least once
     swapped_fraction_per_iteration: list[float] = field(default_factory=list)
-    #: hash-table contention across iterations
-    table_failures: int = 0
-    table_attempts: int = 0
+    #: hash-table contention across iterations — execution observability,
+    #: not part of the result contract: attempt/failure counts depend on
+    #: batch grouping and shard geometry (serial probes key-at-a-time,
+    #: the sharded table re-probes per round, autotune re-plans shards
+    #: mid-run), while the verdict stream they produce is identical.
+    #: Excluded from equality, like ``degraded``/``faults``/``mixing``
+    table_failures: int = field(default=0, compare=False)
+    table_attempts: int = field(default=0, compare=False)
     permutation_rounds: int = 0
     #: the process backend exhausted its fault budget (or shared memory
     #: was unavailable) and the run fell back to the vectorized backend.
@@ -581,7 +586,7 @@ def swap_edges(
     )
     with _maybe_span("swap:chain", backend=config.backend,
                      iterations=iterations, m=m):
-        u, v = _swap_loop(
+        u, v, swapped = _swap_loop(
             u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
             check_duplicates, check_loops, loop_stats, cost, callback, graph.n,
             start_iteration=start_it, checkpointer=ckpt,
@@ -642,8 +647,10 @@ def _swap_edges_process(
     shm.ensure_shm_capacity(
         _swap_shm_estimate(m, config), label="process swap engine"
     )
+    capacity = min(m, config.batch_size) if config.batch_size else m
     table = None
     engine = None
+    pool_faults: list[FaultEvent] = []
     try:
         table = ShardedEdgeHashTable(
             2 * m + 16,
@@ -651,8 +658,73 @@ def _swap_edges_process(
             probing=probing,
             workers_hint=config.threads,
         )
-        engine = SwapWorkerPool(table, config.threads, capacity=m, config=config)
-        u, v = _swap_loop(
+        engine = SwapWorkerPool(
+            table, config.threads, capacity=capacity, config=config
+        )
+        # Observation-driven re-planning: run exactly one iteration on
+        # the static geometry, snapshot what it cost (wall seconds, the
+        # table's contention counters), and re-plan workers/shards/batch
+        # for the remaining iterations.  Applying the plan at an
+        # iteration boundary is bitwise-safe — every iteration rebuilds
+        # the table from the edge array, and TestAndSet verdicts are
+        # geometry-independent — so only the execution changes.
+        if config.autotune and iterations - start_it > 1:
+            from repro.parallel.autotune import TuneSnapshot, plan_swap
+            from repro.parallel.mp_backend import available_workers
+
+            t_probe = time.perf_counter()
+            u, v, swapped = _swap_loop(
+                u, v, swapped, start_it + 1, m, n_pairs, rng, config, table,
+                engine.test_and_set, True, check_loops, local_stats,
+                local_cost, callback, graph.n, start_iteration=start_it,
+                checkpointer=checkpointer,
+            )
+            snapshot = TuneSnapshot(
+                edges=m,
+                host_workers=available_workers(config.threads),
+                seconds=time.perf_counter() - t_probe,
+                table_attempts=int(table.stats.attempts),
+                table_failures=int(table.stats.failures),
+                workers=engine.n_workers,
+                shards=table.n_shards,
+                batch_size=capacity,
+            )
+            plan = plan_swap(config, snapshot)
+            applied = plan.applies_to(
+                workers=engine.n_workers, shards=table.n_shards,
+                batch_size=capacity,
+            )
+            tr = obs_trace.current()
+            if tr is not None:
+                tr.event(
+                    "tune.replan", phase="swap", applied=applied,
+                    workers=plan.processes, shards=plan.shards,
+                    batch_size=plan.batch_size, edges=m,
+                    probe_seconds=round(snapshot.seconds, 9),
+                    table_attempts=snapshot.table_attempts,
+                    table_failures=snapshot.table_failures,
+                    reason=plan.reason,
+                )
+                tr.metrics.inc("tune.replans")
+            start_it = start_it + 1
+            if applied:
+                # retire the probe geometry: bank its contention view and
+                # recovery history before tearing it down
+                if tr is not None:
+                    record_table_stats(tr.metrics, table)
+                pool_faults.extend(engine.faults)
+                engine.close()
+                table.close()
+                engine = table = None
+                capacity = min(m, plan.batch_size)
+                table = ShardedEdgeHashTable(
+                    2 * m + 16, n_shards=plan.shards, probing=probing,
+                    workers_hint=config.threads,
+                )
+                engine = SwapWorkerPool(
+                    table, plan.processes, capacity=capacity, config=config
+                )
+        u, v, swapped = _swap_loop(
             u, v, swapped, iterations, m, n_pairs, rng, config, table,
             engine.test_and_set, True, check_loops, local_stats, local_cost,
             callback, graph.n, start_iteration=start_it,
@@ -661,6 +733,7 @@ def _swap_edges_process(
         if stats is not None:
             stats.merge_from(local_stats)
             # recoveries that *succeeded* still happened; surface them
+            stats.faults.extend(pool_faults)
             stats.faults.extend(engine.faults)
         if cost is not None:
             cost.merge(local_cost)
@@ -682,7 +755,7 @@ def _swap_loop(
     *,
     start_iteration: int = 0,
     checkpointer=None,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """The per-iteration body of :func:`swap_edges` (backend-agnostic).
 
     With ``preregistered=True`` the first iteration's clear + edge
@@ -697,7 +770,14 @@ def _swap_loop(
     ``start_iteration > 0`` re-enters the loop mid-chain from restored
     checkpoint state; the first resumed iteration always clears and
     re-registers, which reconstructs the hash table exactly.
+
+    The registration keys are *maintained*, not recomputed: ``keys``
+    holds ``pack_edges(u, v)`` from its first use onward, permuted
+    alongside the edge arrays and patched per accepted swap (whose g/h
+    keys the proposal phase already packed), so each iteration's
+    registration reuses the array instead of re-packing all ``m`` edges.
     """
+    keys = None  # maintained pack_edges(u, v); built lazily at first use
     for it in range(start_iteration, iterations):
         t0 = time.perf_counter()
         if it == 0 and preregistered:
@@ -709,7 +789,9 @@ def _swap_loop(
             failures_before = table.stats.failures
             # Phase 1: register all current edges (duplicate-checked spaces).
             if check_duplicates:
-                tas(pack_edges(u, v))
+                if keys is None:
+                    keys = pack_edges(u, v)
+                tas(keys)
 
         # Phase 2: parallel permutation of the edge list.
         perm_stats = PermutationStats()
@@ -721,6 +803,8 @@ def _swap_loop(
         u = u[order]
         v = v[order]
         swapped = swapped[order]
+        if keys is not None:
+            keys = keys[order]
 
         # Phase 3: propose swaps on adjacent pairs.
         accepted = 0
@@ -737,8 +821,10 @@ def _swap_loop(
             loop_g = gu == gv
             loop_h = hu == hv
 
+            gk = None
             if check_duplicates:
-                g_present = tas(pack_edges(gu, gv))
+                gk = pack_edges(gu, gv)
+                g_present = tas(gk)
                 # short-circuit: h only attempted when g was absent
                 h_try = ~g_present
                 h_present = np.ones(n_pairs, dtype=bool)
@@ -758,6 +844,12 @@ def _swap_loop(
             v[2 * idx + 1] = hv[idx]
             swapped[2 * idx] = True
             swapped[2 * idx + 1] = True
+            if keys is not None and len(idx):
+                # patch the maintained keys for accepted pairs only: the
+                # g key is already packed; the accepted h keys (a subset
+                # of h_try) are re-packed at O(accepted), not O(m)
+                keys[2 * idx] = gk[idx]
+                keys[2 * idx + 1] = pack_edges(hu[idx], hv[idx])
             accepted = len(idx)
 
             if stats is not None:
@@ -809,7 +901,10 @@ def _swap_loop(
         if checkpointer is not None:
             checkpointer.after_round(it, u, v, swapped, rng, stats)
 
-    return u, v
+    # swapped is returned because the permutation rebinds it (fancy
+    # indexing copies): callers that re-enter the loop — the autotune
+    # probe/remainder split — must hand the *permuted* array back in
+    return u, v, swapped
 
 
 def fused_swap_loop(
@@ -841,11 +936,12 @@ def fused_swap_loop(
     m = len(u)
     n_pairs = m // 2
     swapped = np.zeros(m, dtype=bool)
-    return _swap_loop(
+    u, v, _ = _swap_loop(
         u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
         True, True, stats, cost, callback, n_vertices, preregistered=True,
         checkpointer=checkpointer,
     )
+    return u, v
 
 
 def _pack_key(a: int, b: int) -> int:

@@ -1,0 +1,280 @@
+"""Observation-driven re-planning of process-backend execution knobs.
+
+The process backend exposes three knobs that affect only *how fast* a
+run executes, never *what* it produces: the worker-process count
+(``ParallelConfig.processes``), the hash-table shard count
+(``ParallelConfig.shards``), and the TestAndSet exchange batch size
+(``ParallelConfig.batch_size``).  All partitioning that pins the output
+bits — chunk seeds, chunk bounds, permutation streams — hangs off the
+*logical* thread count ``ParallelConfig.threads``, and TestAndSet
+verdicts are pure set membership with first-occurrence semantics, so any
+(workers, shards, batch) geometry yields the same edges for a fixed
+seed.  That freedom is what this module exploits.
+
+With ``ParallelConfig.autotune=True`` the engines plan those knobs from
+observations instead of static defaults:
+
+- :func:`plan_generation` runs *before* the fused pipeline spawns its
+  pool: shard geometry is baked into the generation workers' key
+  grouping, so it must be chosen up front — from the expected edge count
+  (a closed-form function of the space table) and the already-measured
+  ``probabilities`` :class:`~repro.parallel.cost_model.PhaseCost`.
+- :func:`plan_swap` runs at the first iteration boundary of a swap
+  chain (and after fused generation): it consumes a
+  :class:`TuneSnapshot` of first-batch observations — measured seconds,
+  the hash table's contention counters as ingested by
+  :mod:`repro.obs.metrics` — and re-plans the remainder of the run.
+
+Both planners are **pure and deterministic**: the same config and
+snapshot always yield the same :class:`TunePlan` (property-tested in
+``tests/parallel/test_autotune.py``).  They never propose zero or
+negative values, and they respect ``ParallelConfig.processes`` as a
+ceiling on the worker count.  Pinning any knob explicitly
+(``processes``/``shards``/``batch_size`` non-zero) opts that knob out of
+tuning — the planner passes the pinned value through.
+
+The worker-count choice uses Brent's bound from the cost model: the
+modeled kernel time ``(W / p + D) · c`` shrinks with more workers while
+the per-worker dispatch overhead (message round-trips, barrier wakeups)
+grows linearly, so the planner minimizes their sum over the feasible
+worker counts.  Decisions are recorded as ``tune.replan`` trace events
+(see :mod:`repro.obs.trace`) so a traced run documents every re-plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.parallel.cost_model import PhaseCost
+from repro.parallel.hashtable import effective_shard_count
+
+__all__ = ["TuneSnapshot", "TunePlan", "plan_generation", "plan_swap"]
+
+#: keys one worker should own per TestAndSet round before a second
+#: worker pays for itself (used when no timing observation is available)
+_TARGET_KEYS_PER_WORKER = 16384
+
+#: modeled parent-side dispatch cost per worker per message round
+#: (queue put/get + barrier wakeup; order-of-magnitude, host-measured)
+_DISPATCH_OVERHEAD_SECONDS = 0.0015
+
+#: TestAndSet message rounds per swap iteration (registration, the g
+#: batch, the surviving-h batch)
+_ROUNDS_PER_ITERATION = 3.0
+
+#: slot-collision failure rate above which the planner doubles the shard
+#: count to spread contention
+_CONTENTION_THRESHOLD = 0.05
+
+#: hard cap on the exchange-buffer batch size (bounds /dev/shm per run)
+_MAX_BATCH = 1 << 20
+
+
+@dataclass(frozen=True)
+class TuneSnapshot:
+    """First-batch observations a :func:`plan_swap` decision consumes.
+
+    Parameters
+    ----------
+    edges:
+        Edge count ``m`` of the run (expected pre-generation, measured
+        after).
+    host_workers:
+        Worker processes the host can usefully run
+        (:func:`~repro.parallel.mp_backend.available_workers`).
+    seconds:
+        Measured wall seconds of the observed batch (one swap iteration,
+        or the generation phase); ``0.0`` when nothing ran yet.
+    table_attempts / table_failures:
+        The hash table's cumulative contention counters over the
+        observed batch — the same quantities
+        :func:`repro.obs.metrics.record_table_stats` ingests into a
+        run's metrics registry.
+    workers / shards / batch_size:
+        The geometry the observed batch executed under (``0`` = not yet
+        built, e.g. planning generation before the pool exists).
+    """
+
+    edges: int
+    host_workers: int
+    seconds: float = 0.0
+    table_attempts: int = 0
+    table_failures: int = 0
+    workers: int = 0
+    shards: int = 0
+    batch_size: int = 0
+
+    @classmethod
+    def from_metrics(cls, metrics, *, edges: int, host_workers: int,
+                     seconds: float = 0.0, workers: int = 0, shards: int = 0,
+                     batch_size: int = 0) -> "TuneSnapshot":
+        """Build a snapshot from a :class:`~repro.obs.metrics.Metrics` registry.
+
+        Reads the ``swap.table.attempts`` / ``swap.table.failures``
+        counters that :func:`~repro.obs.metrics.record_table_stats`
+        maintains, closing the observation → tuning loop through the
+        same registry the run's trace snapshots.
+        """
+        counters = metrics.counters if metrics is not None else {}
+        return cls(
+            edges=int(edges),
+            host_workers=int(host_workers),
+            seconds=float(seconds),
+            table_attempts=int(counters.get("swap.table.attempts", 0)),
+            table_failures=int(counters.get("swap.table.failures", 0)),
+            workers=int(workers),
+            shards=int(shards),
+            batch_size=int(batch_size),
+        )
+
+
+@dataclass(frozen=True)
+class TunePlan:
+    """A planner decision: the geometry the rest of the run should use.
+
+    Every field is strictly positive; ``shards`` is a power of two
+    (validated at construction — a planner bug fails loudly, never as a
+    zero-sized pool downstream).
+    """
+
+    processes: int
+    shards: int
+    batch_size: int
+    #: human-readable decision summary (lands in ``tune.replan`` events)
+    reason: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.processes < 1:
+            raise ValueError(f"planned processes must be >= 1, got {self.processes}")
+        if self.shards < 1 or self.shards & (self.shards - 1):
+            raise ValueError(
+                f"planned shards must be a positive power of two, got {self.shards}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(f"planned batch_size must be >= 1, got {self.batch_size}")
+
+    def applies_to(self, *, workers: int, shards: int, batch_size: int) -> bool:
+        """Whether this plan differs from the given current geometry."""
+        return (
+            self.processes != workers
+            or self.shards != shards
+            or self.batch_size != batch_size
+        )
+
+
+def _worker_ceiling(config, host_workers: int) -> int:
+    """The hard upper bound on planned workers (pinning wins over host)."""
+    if config.processes:
+        return int(config.processes)
+    return max(1, int(host_workers))
+
+
+def _best_worker_count(
+    work: float, seconds: float, ceiling: int, *, rounds: float
+) -> int:
+    """Workers minimizing modeled kernel time plus dispatch overhead.
+
+    ``seconds`` calibrates the per-op cost of Brent's bound
+    (:meth:`~repro.parallel.cost_model.PhaseCost.simulated_seconds`);
+    without a measurement the planner falls back to the static
+    keys-per-worker amortization target.
+    """
+    ceiling = max(1, int(ceiling))
+    if seconds <= 0.0 or work <= 0.0:
+        want = -(-int(max(work, 1.0)) // _TARGET_KEYS_PER_WORKER)  # ceil div
+        return max(1, min(ceiling, want))
+    phase = PhaseCost("tune", work=work, depth=min(work, 8.0), seconds=seconds)
+    best_w, best_t = 1, float("inf")
+    for w in range(1, ceiling + 1):
+        t = phase.simulated_seconds(w) + w * rounds * _DISPATCH_OVERHEAD_SECONDS
+        if t < best_t - 1e-12:
+            best_w, best_t = w, t
+    return best_w
+
+
+def _planned_shards(config, workers: int, snapshot: TuneSnapshot | None) -> int:
+    """Shard count for ``workers`` owners (pinned value passes through)."""
+    if config.shards:
+        return effective_shard_count(int(config.shards), workers)
+    shards = effective_shard_count(None, workers)
+    if snapshot is not None and snapshot.table_attempts > 0:
+        fail_rate = snapshot.table_failures / snapshot.table_attempts
+        if fail_rate > _CONTENTION_THRESHOLD:
+            # spread hot shards: one doubling per re-plan is enough —
+            # the next snapshot re-evaluates against the new geometry
+            shards *= 2
+    return shards
+
+
+def _planned_batch(config, edges: int) -> int:
+    """Exchange batch size (pinned value passes through, floor of 1)."""
+    if config.batch_size:
+        return max(1, int(config.batch_size))
+    return max(1, min(int(edges), _MAX_BATCH))
+
+
+def plan_generation(
+    config,
+    *,
+    expected_edges: int,
+    host_workers: int,
+    probability_cost: PhaseCost | None = None,
+) -> TunePlan:
+    """Plan the fused pipeline's pre-generation geometry.
+
+    Shard count must be fixed *before* generation runs (workers group
+    packed keys by ``shard % n_owners`` as they sample), so this planner
+    works from the expected edge count — the exact closed form
+    ``Σ p·|space|`` over the prepared space table — plus, when
+    available, the measured ``probabilities`` phase cost as a scale hint
+    for the per-op cost of this host.
+    """
+    ceiling = _worker_ceiling(config, host_workers)
+    seconds = 0.0
+    work = float(max(1, expected_edges))
+    if probability_cost is not None and probability_cost.work > 0:
+        # calibrate generation's per-op cost from the measured phase:
+        # same interpreter, same memory system, same order of magnitude
+        seconds = probability_cost.seconds / probability_cost.work * work
+    workers = _best_worker_count(work, seconds, ceiling, rounds=1.0)
+    shards = _planned_shards(config, workers, None)
+    batch = _planned_batch(config, max(1, expected_edges))
+    return TunePlan(
+        processes=workers,
+        shards=shards,
+        batch_size=batch,
+        reason=(
+            f"pre-gen: expected_edges={expected_edges} ceiling={ceiling} "
+            f"-> workers={workers} shards={shards} batch={batch}"
+        ),
+    )
+
+
+def plan_swap(config, snapshot: TuneSnapshot) -> TunePlan:
+    """Re-plan a swap chain's geometry from its first-iteration snapshot.
+
+    ``snapshot.seconds`` (the measured probe iteration) calibrates the
+    Brent-bound worker choice; the contention counters decide whether to
+    spread shards.  The returned plan covers the *remaining* iterations;
+    applying it at an iteration boundary is bitwise-safe because every
+    iteration rebuilds the table from the edge array (clear +
+    re-registration) and verdicts are geometry-independent.
+    """
+    ceiling = _worker_ceiling(config, snapshot.host_workers)
+    # per-iteration TestAndSet work: m registrations + ~m proposal keys
+    work = float(max(1, 2 * snapshot.edges))
+    workers = _best_worker_count(
+        work, float(snapshot.seconds), ceiling, rounds=_ROUNDS_PER_ITERATION
+    )
+    shards = _planned_shards(config, workers, snapshot)
+    batch = _planned_batch(config, max(1, snapshot.edges))
+    return TunePlan(
+        processes=workers,
+        shards=shards,
+        batch_size=batch,
+        reason=(
+            f"swap probe: m={snapshot.edges} seconds={snapshot.seconds:.4f} "
+            f"attempts={snapshot.table_attempts} failures={snapshot.table_failures} "
+            f"ceiling={ceiling} -> workers={workers} shards={shards} batch={batch}"
+        ),
+    )

@@ -217,12 +217,22 @@ class WorkerInjector:
         self._seen: dict[str, int] = {}
 
     def fire(self, op: str) -> str | None:
-        """Trigger any armed fault for *op*; returns ``"killmid"`` or None."""
-        seen = self._seen.get(op, 0)
-        self._seen[op] = seen + 1
+        """Trigger any armed fault for *op*; returns ``"killmid"`` or None.
+
+        The fused ``bindins`` message is the pipeline's bind + insert in
+        one round, so it answers to *both* names: a spec written against
+        ``insert`` (or ``bind``) keeps firing after the fusion — fault
+        plans target logical phases, not wire-format message tags.
+        """
+        aliases = (op, "insert", "bind") if op == "bindins" else (op,)
+        seen_by_alias = {a: self._seen.get(a, 0) for a in aliases}
+        for a in aliases:
+            self._seen[a] = seen_by_alias[a] + 1
         action = None
         for spec in self._plan.specs:
-            if not spec.matches(self._worker, op, seen):
+            if not any(
+                spec.matches(self._worker, a, seen_by_alias[a]) for a in aliases
+            ):
                 continue
             if spec.kind == "kill":
                 os.kill(os.getpid(), signal.SIGKILL)

@@ -239,6 +239,10 @@ def _pipeline_worker(
       this worker's replay journal;
     - ``("insert", [(desc, lo, hi), ...])`` — register generated keys
       into the bound table (this worker's shards only);
+    - ``("bindins", table_desc, keys_desc, flags_desc, journal_desc,
+      spans, seq)`` — fused bind + insert: one message round does what
+      a ``bind`` barrier followed by an ``insert`` round used to,
+      halving the pipeline's post-generation message latency;
     - ``("tas", lo, hi)`` — TestAndSet over ``keys[lo:hi]`` (all shards
       in that range are owned by this worker), verdicts to
       ``flags[lo:hi]``;
@@ -329,6 +333,17 @@ def _pipeline_worker(
                     if journal is not None:
                         journal.begin(table)
                     _worker_insert(msg, table, cache, kill_mid=action == "killmid")
+                    if journal is not None:
+                        journal.commit(seq)
+                elif op == "bindins":
+                    _, table_desc, keys_desc, flags_desc, journal_desc, spans, seq = msg
+                    do_bind(table_desc, keys_desc, flags_desc, journal_desc)
+                    if journal is not None:
+                        journal.begin(table)
+                    _worker_insert(
+                        ("insert", spans), table, cache,
+                        kill_mid=action == "killmid",
+                    )
                     if journal is not None:
                         journal.commit(seq)
                 elif op == "bind":
@@ -465,15 +480,24 @@ class PipelineWorkerPool:
         table: ShardedEdgeHashTable,
         keys_buf: SharedArray,
         flags_buf: SharedArray,
+        journal_capacity: int | None = None,
     ) -> None:
-        """Record the bind state and build one replay journal per worker."""
+        """Record the bind state and build one replay journal per worker.
+
+        ``journal_capacity`` overrides the journal's per-batch slot count
+        when a batch can exceed the exchange-buffer size — the fused
+        bind+insert round journals a worker's *entire* generated key
+        span, which is unrelated to (and possibly larger than) the TAS
+        exchange capacity.
+        """
         for j in self._journals:
             j.close()
         self._table = table
         self._keys_buf = keys_buf
         self._flags_buf = flags_buf
+        capacity = max(len(keys_buf.array), int(journal_capacity or 0))
         self._journals = [
-            ShardJournal(table.n_shards, len(keys_buf.array))
+            ShardJournal(table.n_shards, capacity)
             for _ in range(self.n_workers)
         ]
 
@@ -586,7 +610,7 @@ class PipelineWorkerPool:
         # acknowledged here, never replayed (its flags are already in shm)
         if (
             dq
-            and dq[0][1][0] in ("tas", "insert")
+            and dq[0][1][0] in ("tas", "insert", "bindins")
             and self._journals
             and self._journals[w].last_committed == dq[0][1][-1]
         ):
@@ -686,6 +710,50 @@ class PipelineWorkerPool:
             ]
         )
 
+    def bind_insert(
+        self,
+        table: ShardedEdgeHashTable,
+        keys_buf: SharedArray,
+        flags_buf: SharedArray,
+        spans_per_worker: list[list],
+    ) -> None:
+        """Fused :meth:`bind` + :meth:`insert` in a single message round.
+
+        Every worker gets one ``bindins`` message carrying both the bind
+        descriptors and its insert spans (workers with no spans still
+        bind), so the pipeline pays one barrier where the phased path
+        paid two.  Per-shard insert order is identical to
+        ``bind(); insert()`` — each worker still concatenates its spans
+        in chunk order — so verdicts and table contents are unchanged.
+        The replay journals are sized for the largest per-worker span
+        total, which may exceed the TAS exchange capacity.
+        """
+        totals = [
+            sum(int(hi - lo) for _, lo, hi in spans)
+            for spans in spans_per_worker
+        ]
+        self._set_bind(
+            table, keys_buf, flags_buf,
+            journal_capacity=max(totals, default=0),
+        )
+        self._submit(
+            [
+                (
+                    w,
+                    (
+                        "bindins",
+                        table.descriptor(),
+                        keys_buf.descriptor,
+                        flags_buf.descriptor,
+                        self._journals[w].descriptor,
+                        spans_per_worker[w] if w < len(spans_per_worker) else [],
+                        next(self._seq),
+                    ),
+                )
+                for w in range(self.n_workers)
+            ]
+        )
+
     def test_and_set(self, keys: np.ndarray) -> np.ndarray:
         """TestAndSet ``keys`` across the worker fleet; per-key verdicts.
 
@@ -694,6 +762,15 @@ class PipelineWorkerPool:
         resolution matches the vectorized engine), scatters the groups
         through the shared key buffer, barriers on worker completions,
         and gathers the verdict flags back into input order.
+
+        A batch larger than the exchange-buffer capacity is split into
+        sequential sub-batches.  Verdicts are unaffected: TestAndSet is
+        set membership with first-occurrence semantics, and every insert
+        from an earlier sub-batch is visible to later ones, so the
+        first occurrence of any key still wins exactly as it would in
+        one round.  Only the contention *accounting* can differ (fewer
+        same-round slot races), which is why the table counters are
+        execution observability, not part of the result contract.
         """
         if self._closed:
             raise RuntimeError(f"{type(self).__name__} is closed")
@@ -704,23 +781,23 @@ class PipelineWorkerPool:
         present = np.zeros(n, dtype=bool)
         if n == 0:
             return present
-        if n > len(self._keys_buf.array):
-            raise ValueError(
-                f"batch of {n} keys exceeds pool capacity {len(self._keys_buf.array)}"
-            )
-        owner = self._table.shard_of(keys) % self.n_workers
-        order = np.argsort(owner, kind="stable")
-        self._keys_buf.array[:n] = keys[order]
-        counts = np.bincount(owner, minlength=self.n_workers)
-        bounds = np.zeros(self.n_workers + 1, dtype=np.int64)
-        np.cumsum(counts, out=bounds[1:])
-        jobs = []
-        for w in range(self.n_workers):
-            lo, hi = int(bounds[w]), int(bounds[w + 1])
-            if hi > lo:
-                jobs.append((w, ("tas", lo, hi, next(self._seq))))
-        self._submit(jobs)
-        present[order] = self._flags_buf.array[:n].astype(bool)
+        cap = len(self._keys_buf.array)
+        for off in range(0, n, cap):
+            sub = keys[off : off + cap]
+            k = len(sub)
+            owner = self._table.shard_of(sub) % self.n_workers
+            order = np.argsort(owner, kind="stable")
+            self._keys_buf.array[:k] = sub[order]
+            counts = np.bincount(owner, minlength=self.n_workers)
+            bounds = np.zeros(self.n_workers + 1, dtype=np.int64)
+            np.cumsum(counts, out=bounds[1:])
+            jobs = []
+            for w in range(self.n_workers):
+                lo, hi = int(bounds[w]), int(bounds[w + 1])
+                if hi > lo:
+                    jobs.append((w, ("tas", lo, hi, next(self._seq))))
+            self._submit(jobs)
+            present[off : off + cap][order] = self._flags_buf.array[:k].astype(bool)
         return present
 
     def clear(self) -> None:

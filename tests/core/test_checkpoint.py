@@ -194,6 +194,40 @@ class TestSwapResume:
         assert res_stats == ref_stats
 
     @pytest.mark.parametrize(
+        "take_auto,resume_auto", [(False, True), (True, False)]
+    )
+    def test_cross_autotune_resume(self, tmp_path, take_auto, resume_auto):
+        """autotune and batch_size are execution knobs, not run identity:
+        a checkpoint taken under the static kernels resumes mid-run under
+        the autotuned ones (and back) bit for bit — the fingerprint must
+        exclude both."""
+        g = _graph(seed=5)
+        ref = swap_edges(g, 6, ParallelConfig(seed=21, threads=2, backend="process"))
+        swap_edges(
+            g,
+            6,
+            ParallelConfig(
+                seed=21, threads=2, backend="process", autotune=take_auto
+            ),
+            checkpoint_dir=tmp_path,
+            checkpoint_every=2,
+        )
+        _drop_newest(tmp_path, 1)
+        out_stats = SwapStats()
+        out = swap_edges(
+            g,
+            6,
+            ParallelConfig(
+                seed=21, threads=2, backend="process", autotune=resume_auto,
+                batch_size=64 if resume_auto else 0,
+            ),
+            stats=out_stats,
+            resume_from=tmp_path,
+        )
+        np.testing.assert_array_equal(out.u, ref.u)
+        np.testing.assert_array_equal(out.v, ref.v)
+
+    @pytest.mark.parametrize(
         "take,resume", [("process", "vectorized"), ("vectorized", "serial")]
     )
     def test_cross_backend_resume(self, tmp_path, take, resume):

@@ -123,6 +123,86 @@ class TestBackendEquivalence:
         for backend in BACKENDS:
             assert abs(means[backend] - means["vectorized"]) < 0.02, means
 
+    @pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+    @pytest.mark.parametrize("space", SPACES)
+    def test_autotune_identical_on_all_backends(self, graph_name, space):
+        """autotune=True is a pure execution choice: every backend's
+        output (and result-contract stats) must match its static run."""
+        graph = GRAPHS[graph_name]
+        for backend in BACKENDS:
+            outs, stats = {}, {}
+            for auto in (False, True):
+                stats[auto] = SwapStats()
+                outs[auto] = swap_edges(
+                    graph, 3,
+                    ParallelConfig(
+                        threads=2, backend=backend, seed=97, autotune=auto
+                    ),
+                    stats=stats[auto], space=space,
+                )
+            np.testing.assert_array_equal(
+                outs[True].u, outs[False].u,
+                err_msg=f"{backend} autotune diverged ({graph_name}/{space})",
+            )
+            np.testing.assert_array_equal(
+                outs[True].v, outs[False].v,
+                err_msg=f"{backend} autotune diverged ({graph_name}/{space})",
+            )
+            assert stats[True] == stats[False]
+
+    def test_maintained_keys_match_repacked_registration(self, monkeypatch):
+        """The swap chain's maintained key array (permuted alongside the
+        edges and patched per accepted swap, never re-packed wholesale)
+        must register exactly the keys a from-scratch
+        ``pack_edges(u, v)`` of the current edges would.
+
+        Checked directly: a spy table captures every iteration's
+        registration batch (the first TestAndSet after each clear) and
+        compares it against a fresh pack of the edges current at that
+        point — the input graph for iteration 0, the previous
+        iteration's end-of-round callback snapshot afterwards."""
+        from repro.core import swap as swap_mod
+
+        captured: list = []
+        edges_at: dict[int, tuple] = {}
+
+        class SpyTable(swap_mod.ConcurrentEdgeHashTable):
+            def clear(self):
+                captured.append("clear")
+                super().clear()
+
+            def test_and_set(self, keys):
+                captured.append(np.array(keys, copy=True))
+                return super().test_and_set(keys)
+
+        monkeypatch.setattr(swap_mod, "ConcurrentEdgeHashTable", SpyTable)
+        graph = GRAPHS["simple"]
+        swap_edges(
+            graph, 6,
+            ParallelConfig(threads=2, backend="vectorized", seed=41),
+            callback=lambda it, g: edges_at.setdefault(it, (g.u, g.v)),
+        )
+        registrations = []
+        after_clear = False
+        for item in captured:
+            if isinstance(item, str):
+                after_clear = True
+                continue
+            if after_clear:
+                registrations.append(item)
+            after_clear = False
+        assert len(registrations) == 6
+        for it, reg in enumerate(registrations):
+            # registration keys at iteration `it` pack the edges as they
+            # stood entering the round: the input graph at it=0, the end
+            # of round it-1 (the callback snapshot, which is in the same
+            # permuted order the maintained array tracks) afterwards
+            u, v = (graph.u, graph.v) if it == 0 else edges_at[it - 1]
+            np.testing.assert_array_equal(
+                reg, pack_edges(u, v),
+                err_msg=f"maintained keys drifted at iteration {it}",
+            )
+
     def test_process_contention_stats_recorded(self):
         """The process run reports per-iteration table activity."""
         graph = GRAPHS["simple"]

@@ -243,13 +243,18 @@ class TestGenerationRecovery:
 
     def test_kill_mid_insert_registration(self, baseline_gen):
         """Zero-rebuild handoff killed mid-insert: journal rollback keeps
-        the table state exact for the replay."""
+        the table state exact for the replay.
+
+        The pipeline serves registration through the fused ``bindins``
+        message, which aliases ``insert`` for fault plans — old plans
+        keep firing, and the recorded op names the fused message.
+        """
         expect, _ = baseline_gen
         out, report = self._run("killmid:w0:insert:0")
         np.testing.assert_array_equal(out.u, expect.u)
         np.testing.assert_array_equal(out.v, expect.v)
         assert report.fused and not report.degraded
-        assert report.faults and report.faults[0].op == "insert"
+        assert report.faults and report.faults[0].op == "bindins"
 
     def test_kill_during_fused_swap(self, baseline_gen):
         expect, _ = baseline_gen
@@ -410,6 +415,44 @@ class TestReaper:
         # sweep finds nothing left to do
         assert not glob.glob(f"/dev/shm/repro_{live}_*")
         _assert_no_repro_segments()
+
+
+class TestAutotunedRecovery:
+    """Faults during an obs-driven autotuned run: the replay (or the
+    post-replan geometry) must still reproduce the static fault-free
+    output bit for bit — tuning and supervision compose."""
+
+    def test_kill_during_autotuned_swap(self, baseline_swap):
+        graph, expect, _ = baseline_swap
+        stats = SwapStats()
+        out = swap_edges(
+            graph, 3,
+            _swap_cfg(faults="kill:w0:tas:2", autotune=True),
+            stats=stats,
+        )
+        _assert_no_repro_segments()
+        np.testing.assert_array_equal(out.u, expect.u)
+        np.testing.assert_array_equal(out.v, expect.v)
+        assert not stats.degraded
+        assert stats.faults and stats.faults[0].kind == "died"
+
+    def test_kill_during_autotuned_fused_run(self):
+        dist = DegreeDistribution([1, 2, 3, 6], [120, 70, 30, 12])
+        cfg = dict(threads=2, backend="process", seed=19, processes=2)
+        expect, ref_report = generate_graph(
+            dist, swap_iterations=3, config=ParallelConfig(**cfg)
+        )
+        assert ref_report.fused
+        out, report = generate_graph(
+            dist, swap_iterations=3,
+            config=ParallelConfig(**cfg, autotune=True, faults="kill:w0:tas:1"),
+        )
+        _assert_no_repro_segments()
+        np.testing.assert_array_equal(out.u, expect.u)
+        np.testing.assert_array_equal(out.v, expect.v)
+        assert report.fused and not report.degraded
+        assert ref_report.swap_stats == report.swap_stats
+        assert any(f.kind == "died" for f in report.faults)
 
 
 class TestCloseEscalation:

@@ -114,11 +114,21 @@ class TestSwapWorkerPool:
         with table, pool:
             assert pool.test_and_set(np.empty(0, dtype=np.int64)).shape == (0,)
 
-    def test_capacity_overflow_raises(self):
+    def test_over_capacity_batch_sub_batches(self):
+        """A batch beyond the exchange capacity splits into sequential
+        sub-batches with verdicts identical to an uncapped pool's —
+        first-occurrence semantics hold because earlier sub-batch
+        inserts are visible to later ones."""
+        from repro.parallel.hashtable import ConcurrentEdgeHashTable
+
+        rng = np.random.default_rng(13)
+        keys = rng.integers(0, 120, 300).astype(np.int64)
+        flat = ConcurrentEdgeHashTable(2048)
+        expect = flat.test_and_set(keys)
         table, pool = self._make(cap=64)
         with table, pool:
-            with pytest.raises(ValueError):
-                pool.test_and_set(np.arange(100, dtype=np.int64))
+            np.testing.assert_array_equal(pool.test_and_set(keys), expect)
+            assert pool.test_and_set(keys).all()
 
     def test_closed_pool_rejects_work(self):
         table, pool = self._make(workers=1)
