@@ -67,6 +67,7 @@ EXPERIMENTS = {
     "scaling": experiments.scaling,
     "pipeline": experiments.pipeline,
     "suite": experiments.suite,
+    "scale": experiments.scale,
     "lfr": experiments.lfr_experiment,
     "directed": experiments.directed_experiment,
     "corrections": experiments.corrections_experiment,

@@ -62,10 +62,20 @@ __all__ = [
 ]
 
 #: On-disk snapshot format version; bumped on incompatible layout changes.
+#: (The raw payload mode below is additive — readers that predate it never
+#: see a raw manifest from their own runs — so it did not bump this.)
 FORMAT_VERSION = 1
 
 #: Phases a snapshot may record, in pipeline order.
 PHASES = ("probabilities", "edges", "swap", "done")
+
+#: Arrays totalling more than this many bytes are snapshotted in the raw
+#: per-array layout (streamed, no whole-payload buffering) even when
+#: they live in RAM; mapped arrays always use it.
+RAW_PAYLOAD_THRESHOLD = 1 << 24
+
+#: Streaming chunk for raw payload writes/verifies (bytes).
+_RAW_CHUNK = 1 << 22
 
 
 class CheckpointError(RuntimeError):
@@ -160,10 +170,15 @@ class CheckpointStore:
     """A directory of crash-consistent snapshots for one run.
 
     Snapshots are numbered ``snap-<seq>.npz`` (array payload) +
-    ``snap-<seq>.json`` (manifest).  :meth:`save` is atomic — a crash at
-    any byte leaves either the previous snapshot set or a complete new
-    one, never a half-readable state — and prunes all but the newest
-    ``keep`` snapshots.  :meth:`load_latest` walks snapshots newest
+    ``snap-<seq>.json`` (manifest).  Payloads whose arrays are memory
+    mapped, or exceed :data:`RAW_PAYLOAD_THRESHOLD` bytes in total, use
+    the *raw* layout instead: one ``snap-<seq>-<name>.raw`` file per
+    array, streamed in bounded chunks (never buffering the whole payload
+    in RAM) and re-mapped read-only at load time, so checkpointing an
+    out-of-core run costs no resident memory.  :meth:`save` is atomic —
+    a crash at any byte leaves either the previous snapshot set or a
+    complete new one, never a half-readable state — and prunes all but
+    the newest ``keep`` snapshots.  :meth:`load_latest` walks snapshots newest
     first, skipping any whose manifest or payload fails validation, so a
     torn write transparently falls back to the previous snapshot.
 
@@ -222,11 +237,18 @@ class CheckpointStore:
             raise ValueError(f"phase must be one of {PHASES}, got {phase!r}")
         self._dir.mkdir(parents=True, exist_ok=True)
         seq = self._next_seq()
-        buf = io.BytesIO()
-        np.savez(buf, **{k: np.asarray(v) for k, v in (arrays or {}).items()})
-        payload = buf.getvalue()
-        payload_name = f"snap-{seq:08d}.npz"
-        _atomic_write(self._dir, self._dir / payload_name, payload)
+        # np.ascontiguousarray would strip the np.memmap subclass (hiding
+        # mapped sources from raw-mode detection and the hardlink fast
+        # path), so contiguous memmaps pass through untouched
+        arrs = {
+            k: v if isinstance(v, np.memmap) and v.flags["C_CONTIGUOUS"]
+            else np.ascontiguousarray(v)
+            for k, v in (arrays or {}).items()
+        }
+        total = int(sum(a.nbytes for a in arrs.values()))
+        raw = total > RAW_PAYLOAD_THRESHOLD or any(
+            isinstance(a, np.memmap) for a in arrs.values()
+        )
         manifest = {
             "version": FORMAT_VERSION,
             "seq": seq,
@@ -234,11 +256,33 @@ class CheckpointStore:
             "phase": phase,
             "swap_round": int(swap_round),
             "fingerprint": fingerprint,
-            "payload": payload_name,
-            "payload_bytes": len(payload),
-            "sha256": hashlib.sha256(payload).hexdigest(),
             "meta": meta or {},
         }
+        if raw:
+            entries = {}
+            for name, arr in arrs.items():
+                fname = f"snap-{seq:08d}-{name}.raw"
+                entries[name] = {
+                    "file": fname,
+                    "dtype": arr.dtype.str,
+                    "shape": [int(s) for s in arr.shape],
+                    "bytes": int(arr.nbytes),
+                    "sha256": self._write_raw(self._dir / fname, arr),
+                }
+            manifest["payload_kind"] = "raw"
+            manifest["arrays"] = entries
+            manifest["payload_bytes"] = total
+            payload_len = total
+        else:
+            buf = io.BytesIO()
+            np.savez(buf, **arrs)
+            payload = buf.getvalue()
+            payload_name = f"snap-{seq:08d}.npz"
+            _atomic_write(self._dir, self._dir / payload_name, payload)
+            manifest["payload"] = payload_name
+            manifest["payload_bytes"] = len(payload)
+            manifest["sha256"] = hashlib.sha256(payload).hexdigest()
+            payload_len = len(payload)
         _atomic_write(
             self._dir,
             self._dir / f"snap-{seq:08d}.json",
@@ -249,22 +293,92 @@ class CheckpointStore:
         if tr is not None:
             tr.event(
                 "checkpoint.write", phase=phase, seq=seq,
-                swap_round=int(swap_round), bytes=len(payload),
+                swap_round=int(swap_round), bytes=payload_len,
+                payload_kind="raw" if raw else "npz",
             )
             tr.metrics.inc("checkpoint.writes")
-            tr.metrics.inc("checkpoint.bytes", len(payload))
+            tr.metrics.inc("checkpoint.bytes", payload_len)
         faultinject.fire_parent("checkpoint")
         return seq
+
+    def _write_raw(self, final: Path, arr: np.ndarray) -> str:
+        """Stream one array to ``final`` atomically; returns its SHA-256.
+
+        The array is written in :data:`_RAW_CHUNK` slices so a mapped
+        source is never pulled into RAM wholesale.  A read-only mapped
+        source (a previous raw snapshot being re-saved) is hardlinked
+        instead of copied when the filesystem allows it — snapshot
+        payloads are never modified in place, so sharing the inode is
+        safe — though its checksum is still recomputed from the bytes.
+        """
+        mv = memoryview(arr).cast("B")
+        digest = hashlib.sha256()
+        source = getattr(arr, "filename", None)
+        if (
+            isinstance(arr, np.memmap)
+            and getattr(arr, "mode", None) == "r"
+            and source
+        ):
+            tmp = _tmp_name(self._dir, final.suffix)
+            try:
+                os.link(source, tmp)
+                os.replace(tmp, final)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            else:
+                for lo in range(0, len(mv), _RAW_CHUNK):
+                    digest.update(mv[lo : lo + _RAW_CHUNK])
+                _fsync_dir(str(self._dir))
+                return digest.hexdigest()
+        tmp = _tmp_name(self._dir, final.suffix)
+        try:
+            with open(tmp, "wb") as fh:
+                for lo in range(0, len(mv), _RAW_CHUNK):
+                    chunk = mv[lo : lo + _RAW_CHUNK]
+                    fh.write(chunk)
+                    digest.update(chunk)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise CheckpointError(
+                f"cannot write checkpoint {final}: {exc}") from exc
+        _fsync_dir(str(self._dir))
+        return digest.hexdigest()
 
     def _prune(self) -> None:
         """Drop all but the newest ``keep`` snapshots (best-effort)."""
         seqs = sorted((s for s, _ in self._manifests()), reverse=True)
         for seq in seqs[self._keep :]:
-            for suffix in (".json", ".npz"):
+            for target in self._snapshot_paths(seq):
                 try:
-                    os.unlink(self._dir / f"snap-{seq:08d}{suffix}")
+                    os.unlink(target)
                 except OSError:  # pragma: no cover - racing reaper
                     pass
+
+    def _snapshot_paths(self, seq: int) -> list[Path]:
+        """Every on-disk file belonging to snapshot ``seq``.
+
+        Covers the manifest, the npz payload, and any per-array raw
+        payload files (``snap-<seq>-<name>.raw``).
+        """
+        stem = f"snap-{seq:08d}"
+        try:
+            names = os.listdir(self._dir)
+        except OSError:  # pragma: no cover - racing removal
+            return []
+        return [
+            self._dir / fn
+            for fn in names
+            if fn.startswith(stem + ".") or fn.startswith(stem + "-")
+        ]
 
     # -- read ------------------------------------------------------------
 
@@ -294,20 +408,25 @@ class CheckpointStore:
             return None
         if manifest.get("version") != FORMAT_VERSION:
             return None
-        payload_path = self._dir / str(manifest.get("payload", ""))
-        try:
-            data = payload_path.read_bytes()
-        except OSError:
-            return None
-        if len(data) != manifest.get("payload_bytes"):
-            return None
-        if hashlib.sha256(data).hexdigest() != manifest.get("sha256"):
-            return None
-        try:
-            with np.load(io.BytesIO(data)) as npz:
-                arrays = {k: np.array(npz[k]) for k in npz.files}
-        except (OSError, ValueError):
-            return None
+        if manifest.get("payload_kind") == "raw":
+            arrays = self._read_raw_arrays(manifest)
+            if arrays is None:
+                return None
+        else:
+            payload_path = self._dir / str(manifest.get("payload", ""))
+            try:
+                data = payload_path.read_bytes()
+            except OSError:
+                return None
+            if len(data) != manifest.get("payload_bytes"):
+                return None
+            if hashlib.sha256(data).hexdigest() != manifest.get("sha256"):
+                return None
+            try:
+                with np.load(io.BytesIO(data)) as npz:
+                    arrays = {k: np.array(npz[k]) for k in npz.files}
+            except (OSError, ValueError):
+                return None
         return Checkpoint(
             phase=str(manifest.get("phase", "")),
             swap_round=int(manifest.get("swap_round", 0)),
@@ -316,6 +435,54 @@ class CheckpointStore:
             arrays=arrays,
             meta=manifest.get("meta", {}) or {},
         )
+
+    def _read_raw_arrays(self, manifest: dict) -> dict | None:
+        """Validate and map a raw snapshot's arrays; ``None`` if torn.
+
+        Each file's size and streamed SHA-256 must match its manifest
+        entry before the array is exposed.  Arrays come back as
+        *read-only* memmaps of the snapshot files themselves — zero
+        resident cost, and safe because resume paths copy into their own
+        working arrays before mutating.
+        """
+        entries = manifest.get("arrays")
+        if not isinstance(entries, dict):
+            return None
+        arrays: dict[str, np.ndarray] = {}
+        for name, ent in entries.items():
+            if not isinstance(ent, dict):
+                return None
+            path = self._dir / str(ent.get("file", ""))
+            try:
+                dtype = np.dtype(str(ent.get("dtype")))
+                shape = tuple(int(s) for s in ent.get("shape", ()))
+            except (TypeError, ValueError):
+                return None
+            nbytes = int(np.prod(shape, dtype=np.int64) * dtype.itemsize)
+            try:
+                size = os.stat(path).st_size
+            except OSError:
+                return None
+            if size != ent.get("bytes") or size != nbytes:
+                return None
+            digest = hashlib.sha256()
+            try:
+                with open(path, "rb") as fh:
+                    for chunk in iter(lambda: fh.read(_RAW_CHUNK), b""):
+                        digest.update(chunk)
+            except OSError:
+                return None
+            if digest.hexdigest() != ent.get("sha256"):
+                return None
+            if nbytes == 0:
+                arrays[name] = np.empty(shape, dtype=dtype)
+                continue
+            try:
+                arrays[name] = np.memmap(path, dtype=dtype, mode="r",
+                                         shape=shape)
+            except (OSError, ValueError):
+                return None
+        return arrays
 
     def load_latest(self, fingerprint: str | None = None) -> Checkpoint | None:
         """Newest snapshot that passes validation, or ``None``.
@@ -343,9 +510,9 @@ class CheckpointStore:
     def clear(self) -> None:
         """Remove every snapshot file in the store (the directory stays)."""
         for seq, _ in self._manifests():
-            for suffix in (".json", ".npz"):
+            for target in self._snapshot_paths(seq):
                 try:
-                    os.unlink(self._dir / f"snap-{seq:08d}{suffix}")
+                    os.unlink(target)
                 except OSError:  # pragma: no cover
                     pass
         self._seq = None
@@ -422,8 +589,7 @@ def reap_stale_checkpoints(root) -> list[str]:
         if _pid_alive(pid):
             continue
         for seq, _ in manifests:
-            for suffix in (".json", ".npz"):
-                target = d / f"snap-{seq:08d}{suffix}"
+            for target in store._snapshot_paths(seq):
                 try:
                     os.unlink(target)
                     removed.append(str(target))

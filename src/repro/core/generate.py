@@ -39,6 +39,11 @@ import numpy as np
 from repro.core.checkpoint import as_store, run_fingerprint
 from repro.core.edge_skip import fused_chunk_sample, generate_edges, prepare_spaces
 from repro.core.probabilities import ProbabilityResult, generate_probabilities
+from repro.core.storage import (
+    generation_working_set_bytes,
+    open_store,
+    swap_working_set_bytes,
+)
 from repro.core.swap import (
     SwapStats,
     _maybe_span,
@@ -55,10 +60,15 @@ from repro.graph.degree import (
 )
 from repro.graph.edgelist import EdgeList
 from repro.obs import trace as obs_trace
-from repro.obs.metrics import record_table_stats
+from repro.obs.metrics import record_memory_stats, record_table_stats
 from repro.obs.mixing import MixingProbe
 from repro.parallel import faultinject
-from repro.parallel.autotune import TuneSnapshot, plan_generation, plan_swap
+from repro.parallel.autotune import (
+    TuneSnapshot,
+    plan_generation,
+    plan_storage,
+    plan_swap,
+)
 from repro.parallel.cost_model import CostModel
 from repro.parallel.hashtable import (
     ShardedEdgeHashTable,
@@ -100,6 +110,17 @@ def _merge_phase_seconds(base: dict, tail: dict) -> dict:
     for k, s in tail.items():
         out[str(k)] = out.get(str(k), 0.0) + float(s)
     return out
+
+
+def _sample_memory() -> None:
+    """Sample the memory gauges at a phase boundary (traced runs only).
+
+    ``mem.rss_peak`` and ``store.bytes_mapped`` land in the run's metrics
+    registry and hence in the ``metrics.snapshot`` trace tail.
+    """
+    tr = obs_trace.current()
+    if tr is not None:
+        record_memory_stats(tr.metrics)
 
 
 @dataclass
@@ -315,6 +336,7 @@ def _generate(
     phase_seconds["probabilities"] = time.perf_counter() - t0
     if cost.phases and cost.phases[-1].name == "probabilities":
         cost.phases[-1].seconds = phase_seconds["probabilities"]
+    _sample_memory()
 
     if resume_snap is not None and resume_snap.phase == "done":
         # the interrupted run had already finished and snapshotted its
@@ -428,6 +450,24 @@ def _generate(
             resume_snap = store.load_latest(fingerprint=fingerprint)
 
     resuming = resume_snap is not None and resume_snap.phase in ("edges", "swap")
+    # expected edge count (half the total degree) sizes the generation
+    # phase's storage plan before any edge exists
+    expected_m = int(np.dot(dist.degrees, dist.counts)) // 2
+    gen_plan = plan_storage(
+        config,
+        working_set_bytes=generation_working_set_bytes(expected_m),
+        phase="generation",
+    )
+    gen_store = None
+    if gen_plan.store == "mmap" and not resuming:
+        gen_store = open_store("mmap")
+        tr = obs_trace.current()
+        if tr is not None:
+            tr.event(
+                "tune.replan", phase="storage", store="mmap",
+                window=gen_plan.window, table_spill=False,
+                edges=expected_m, reason=gen_plan.reason,
+            )
     t0 = time.perf_counter()
     with _maybe_span("phase:edge_generation", resumed=resuming):
         if resuming:
@@ -437,10 +477,13 @@ def _generate(
                 dist.n,
             )
         else:
-            edges = generate_edges(probabilities.P, dist, config, cost=cost)
+            edges = generate_edges(
+                probabilities.P, dist, config, cost=cost, store=gen_store
+            )
     phase_seconds["edge_generation"] = time.perf_counter() - t0
     if cost.phases and cost.phases[-1].name == "edge_generation":
         cost.phases[-1].seconds = phase_seconds["edge_generation"]
+    _sample_memory()
     if store is not None and not resuming:
         store.save(
             "edges",
@@ -473,6 +516,12 @@ def _generate(
             _timing_base=_merge_phase_seconds(prior_phase_seconds, phase_seconds),
         )
     phase_seconds["swap"] = time.perf_counter() - t0
+    _sample_memory()
+    if gen_store is not None:
+        # the swap phase owns its own store-backed copies (and the
+        # "edges" snapshot is durable), so the generation spill files can
+        # be settled now; `edges`'s mappings stay valid until GC
+        gen_store.release()
     if store is not None:
         store.save(
             "done",
@@ -616,6 +665,7 @@ def _generate_fused(
     arena = PipelineArena()
     pool = None
     table = None
+    run_store = None
     try:
         arena.preflight(footprint, label="fused pipeline arena")
         gen_edges_buf = arena.allocate("gen_edges", (int(chunk_off[-1]), 2), np.int64)
@@ -665,12 +715,42 @@ def _generate_fused(
             else:
                 off = int(chunk_off[c])
                 parts.append(gen_edges_buf.array[off : off + int(chunk_k[c])])
-        pairs = np.concatenate(parts, axis=0)
-        u = pairs[:, 0].copy()
-        v = pairs[:, 1].copy()
-        m = len(u)
+        m = int(sum(len(p) for p in parts))
         if m == 0:
             return None  # the phased path handles the empty graph's bookkeeping
+        # the assembled u/v persist through every swap iteration, so they
+        # are sized by the swap working set for the storage plan
+        splan = plan_storage(
+            config,
+            working_set_bytes=swap_working_set_bytes(m),
+            table_bytes=(
+                estimate_table_nbytes(2 * m + 16, n_shards, config.threads)
+                if swap_iterations > 0
+                else 0
+            ),
+            phase="fused",
+        )
+        if splan.store == "mmap":
+            tr = obs_trace.current()
+            if tr is not None:
+                tr.event(
+                    "tune.replan", phase="storage", store="mmap",
+                    window=splan.window, table_spill=splan.table_spill,
+                    edges=m, reason=splan.reason,
+                )
+            run_store = open_store("mmap")
+            u = run_store.empty("fused_u", m, np.int64)
+            v = run_store.empty("fused_v", m, np.int64)
+            off = 0
+            for part in parts:
+                k = len(part)
+                u[off : off + k] = part[:, 0]
+                v[off : off + k] = part[:, 1]
+                off += k
+        else:
+            pairs = np.concatenate(parts, axis=0)
+            u = pairs[:, 0].copy()
+            v = pairs[:, 1].copy()
         cost.add(
             "edge_generation",
             work=float(m + n_spaces),
@@ -685,6 +765,7 @@ def _generate_fused(
         phase_seconds["edge_generation"] = time.perf_counter() - t0
         if cost.phases and cost.phases[-1].name == "edge_generation":
             cost.phases[-1].seconds = phase_seconds["edge_generation"]
+        _sample_memory()
         if store is not None:
             store.save(
                 "edges",
@@ -712,6 +793,7 @@ def _generate_fused(
                 n_shards=n_shards,
                 workers_hint=config.threads,
                 arena=arena,
+                spill=splan.table_spill,
             )
             # exchange capacity: the only post-generation knob the fused
             # path can re-plan (workers and shards are baked into the
@@ -771,12 +853,14 @@ def _generate_fused(
                 u, v, swap_iterations, config, table, pool.test_and_set,
                 n_vertices=dist.n, stats=swap_stats, cost=cost,
                 callback=swap_callback, checkpointer=ckpt,
+                store=run_store, window=splan.window,
             )
             tr = obs_trace.current()
             if tr is not None:
                 record_table_stats(tr.metrics, table)
         obs_spans.close()
         phase_seconds["swap"] = time.perf_counter() - t0
+        _sample_memory()
         return EdgeList(u, v, dist.n), swap_stats, m, list(pool.faults)
     finally:
         obs_spans.close()
@@ -785,3 +869,7 @@ def _generate_fused(
         if table is not None:
             table.close()
         arena.close()
+        if run_store is not None:
+            # settle the spill-file debt (idempotent); the mappings
+            # behind the returned arrays stay valid
+            run_store.release()

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import itertools
 import time
 from dataclasses import dataclass, field, replace
 
@@ -62,9 +63,17 @@ from repro.core.checkpoint import (
     as_store,
     run_fingerprint,
 )
+from repro.core.storage import (
+    DEFAULT_WINDOW,
+    copy_into,
+    open_store,
+    permute_into,
+    swap_working_set_bytes,
+)
+from repro.parallel.autotune import plan_storage
 from repro.graph.edgelist import EdgeList
 from repro.obs import trace as obs_trace
-from repro.obs.metrics import record_table_stats
+from repro.obs.metrics import record_memory_stats, record_table_stats
 from repro.obs.mixing import MixingProbe, MixingTrajectory
 from repro.parallel import faultinject
 from repro.parallel.cost_model import CostModel
@@ -84,6 +93,52 @@ from repro.parallel.rng import generator_from_seed
 from repro.parallel.runtime import ParallelConfig
 
 __all__ = ["SwapStats", "swap_edges", "fused_swap_loop", "serial_swap_chain"]
+
+#: uniquifier for store-backed working arrays (the autotune probe split
+#: re-enters the loop on one store, so array names cannot be static)
+_STORE_SEQ = itertools.count()
+
+
+def _open_swap_store(config, m):
+    """Plan and (if spilling) open the swap phase's backing store.
+
+    Returns ``(store, window, plan)`` where ``store`` is ``None`` for a
+    RAM plan.  The decision is recorded as a ``tune.replan`` trace event
+    with ``phase="storage"`` so traced runs document spill choices
+    alongside the geometry re-plans.
+    """
+    plan = plan_storage(
+        config,
+        working_set_bytes=swap_working_set_bytes(m),
+        table_bytes=(
+            estimate_table_nbytes(2 * m + 16, config.shards or None, config.threads)
+            if config.backend == "process"
+            else 0
+        ),
+        phase="swap",
+    )
+    tr = obs_trace.current()
+    if tr is not None and (plan.store == "mmap" or plan.table_spill):
+        tr.event(
+            "tune.replan", phase="storage", store=plan.store,
+            window=plan.window, table_spill=plan.table_spill, edges=m,
+            reason=plan.reason,
+        )
+    if plan.store != "mmap":
+        return None, 0, plan
+    return open_store("mmap"), plan.window, plan
+
+
+def _store_working_arrays(store, window, u_src, v_src, m):
+    """Allocate the loop's persistent arrays from a store (windowed fill)."""
+    tag = next(_STORE_SEQ)
+    u = store.empty(f"swap{tag}_u", m, np.int64)
+    v = store.empty(f"swap{tag}_v", m, np.int64)
+    swapped = store.empty(f"swap{tag}_swapped", m, np.bool_)
+    copy_into(u, u_src, window)
+    copy_into(v, v_src, window)
+    swapped[:] = False
+    return u, v, swapped
 
 
 @dataclass
@@ -560,10 +615,16 @@ def swap_edges(
             resume_state = _load_swap_resume(store, fingerprint, m) or resume_state
 
     rng = config.generator()
-    u = graph.u.copy()
-    v = graph.v.copy()
+    run_store, window, _splan = _open_swap_store(config, m)
+    if run_store is not None:
+        u, v, swapped = _store_working_arrays(
+            run_store, window, graph.u, graph.v, m
+        )
+    else:
+        u = graph.u.copy()
+        v = graph.v.copy()
+        swapped = np.zeros(m, dtype=bool)
     n_pairs = m // 2
-    swapped = np.zeros(m, dtype=bool)
     start_it = 0
     # with checkpointing active, run against a run-local SwapStats so
     # snapshots carry exactly this run's cumulative counts even when the
@@ -571,9 +632,14 @@ def swap_edges(
     local = SwapStats() if ckpt is not None or resume_state is not None else None
     loop_stats = local if local is not None else stats
     if resume_state is not None:
-        u = resume_state.u.copy()
-        v = resume_state.v.copy()
-        swapped = resume_state.swapped.copy()
+        if run_store is not None:
+            copy_into(u, resume_state.u, window)
+            copy_into(v, resume_state.v, window)
+            copy_into(swapped, resume_state.swapped, window)
+        else:
+            u = resume_state.u.copy()
+            v = resume_state.v.copy()
+            swapped = resume_state.swapped.copy()
         _restore_rng(rng, resume_state.rng_state)
         start_it = resume_state.start_iteration
         if loop_stats is not None:
@@ -590,12 +656,20 @@ def swap_edges(
             u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
             check_duplicates, check_loops, loop_stats, cost, callback, graph.n,
             start_iteration=start_it, checkpointer=ckpt,
+            store=run_store, window=window,
         )
     tr = obs_trace.current()
     if tr is not None:
         record_table_stats(tr.metrics, table)
     if local is not None and stats is not None:
         stats.merge_from(local)
+    if run_store is not None:
+        # sample the mapped footprint while the store still owns it, then
+        # settle the disk debt: the mappings behind the returned arrays
+        # stay valid (deleted-but-open), only the paths go away
+        if tr is not None:
+            record_memory_stats(tr.metrics)
+        run_store.release()
     return EdgeList(u, v, graph.n)
 
 
@@ -627,19 +701,30 @@ def _swap_edges_process(
     from repro.parallel.mp_backend import SwapWorkerPool
 
     rng = config.generator()
-    u = graph.u.copy()
-    v = graph.v.copy()
-    m = len(u)
+    m = len(graph.u)
+    run_store, window, splan = _open_swap_store(config, m)
+    if run_store is not None:
+        u, v, swapped = _store_working_arrays(
+            run_store, window, graph.u, graph.v, m
+        )
+    else:
+        u = graph.u.copy()
+        v = graph.v.copy()
+        swapped = np.zeros(m, dtype=bool)
     n_pairs = m // 2
-    swapped = np.zeros(m, dtype=bool)
     start_it = 0
     want_stats = stats is not None or checkpointer is not None
     local_stats = SwapStats() if want_stats else None
     local_cost = CostModel() if cost is not None else None
     if resume_state is not None:
-        u = resume_state.u.copy()
-        v = resume_state.v.copy()
-        swapped = resume_state.swapped.copy()
+        if run_store is not None:
+            copy_into(u, resume_state.u, window)
+            copy_into(v, resume_state.v, window)
+            copy_into(swapped, resume_state.swapped, window)
+        else:
+            u = resume_state.u.copy()
+            v = resume_state.v.copy()
+            swapped = resume_state.swapped.copy()
         _restore_rng(rng, resume_state.rng_state)
         start_it = resume_state.start_iteration
         if local_stats is not None:
@@ -657,6 +742,7 @@ def _swap_edges_process(
             n_shards=config.shards or None,
             probing=probing,
             workers_hint=config.threads,
+            spill=splan.table_spill,
         )
         engine = SwapWorkerPool(
             table, config.threads, capacity=capacity, config=config
@@ -677,7 +763,7 @@ def _swap_edges_process(
                 u, v, swapped, start_it + 1, m, n_pairs, rng, config, table,
                 engine.test_and_set, True, check_loops, local_stats,
                 local_cost, callback, graph.n, start_iteration=start_it,
-                checkpointer=checkpointer,
+                checkpointer=checkpointer, store=run_store, window=window,
             )
             snapshot = TuneSnapshot(
                 edges=m,
@@ -719,7 +805,7 @@ def _swap_edges_process(
                 capacity = min(m, plan.batch_size)
                 table = ShardedEdgeHashTable(
                     2 * m + 16, n_shards=plan.shards, probing=probing,
-                    workers_hint=config.threads,
+                    workers_hint=config.threads, spill=splan.table_spill,
                 )
                 engine = SwapWorkerPool(
                     table, plan.processes, capacity=capacity, config=config
@@ -728,7 +814,7 @@ def _swap_edges_process(
             u, v, swapped, iterations, m, n_pairs, rng, config, table,
             engine.test_and_set, True, check_loops, local_stats, local_cost,
             callback, graph.n, start_iteration=start_it,
-            checkpointer=checkpointer,
+            checkpointer=checkpointer, store=run_store, window=window,
         )
         if stats is not None:
             stats.merge_from(local_stats)
@@ -746,6 +832,15 @@ def _swap_edges_process(
             engine.close()
         if table is not None:
             table.close()
+        if run_store is not None:
+            # sample the mapped footprint while the store still owns it,
+            # then settle the disk debt (idempotent): the mappings behind
+            # any returned arrays stay valid, only the paths go away; a
+            # failed attempt's files are collected here too
+            tr = obs_trace.current()
+            if tr is not None:
+                record_memory_stats(tr.metrics)
+            run_store.release()
 
 
 def _swap_loop(
@@ -755,6 +850,8 @@ def _swap_loop(
     *,
     start_iteration: int = 0,
     checkpointer=None,
+    store=None,
+    window: int = 0,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """The per-iteration body of :func:`swap_edges` (backend-agnostic).
 
@@ -776,7 +873,33 @@ def _swap_loop(
     alongside the edge arrays and patched per accepted swap (whose g/h
     keys the proposal phase already packed), so each iteration's
     registration reuses the array instead of re-packing all ``m`` edges.
+
+    With an mmap ``store``, the permutation runs *windowed*: instead of
+    one whole-array fancy-index copy per array, each array is gathered
+    window by window into a store-backed twin and the references are
+    swapped (ping-pong), so at most one destination window's pages are
+    dirtied at a time and the OS can evict everything else.  The
+    gathered values are exactly ``arr[order]`` and the PCG64 stream that
+    produced ``order`` is untouched, so windowed rounds are
+    bitwise-identical to in-RAM rounds.  The proposal phase stays
+    whole-batch — its TestAndSet ordering (all g keys, then the
+    surviving h keys) is what pins the verdict stream — so its O(m/2)
+    temporaries are a transient RAM cost per iteration, by design.
     """
+    windowed = store is not None and getattr(store, "kind", "ram") == "mmap"
+    win = int(window) if window else DEFAULT_WINDOW
+    pong: dict[str, np.ndarray] = {}  # spare twin per array name
+
+    def _permuted(name: str, arr: np.ndarray, order: np.ndarray) -> np.ndarray:
+        if not windowed:
+            return arr[order]
+        spare = pong.get(name)
+        if spare is None:
+            spare = store.empty(f"pp{next(_STORE_SEQ)}_{name}", m, arr.dtype)
+        permute_into(spare, arr, order, win)
+        pong[name] = arr  # the source becomes next round's gather target
+        return spare
+
     keys = None  # maintained pack_edges(u, v); built lazily at first use
     for it in range(start_iteration, iterations):
         t0 = time.perf_counter()
@@ -790,7 +913,16 @@ def _swap_loop(
             # Phase 1: register all current edges (duplicate-checked spaces).
             if check_duplicates:
                 if keys is None:
-                    keys = pack_edges(u, v)
+                    if windowed:
+                        # build the maintained keys store-backed, one
+                        # window at a time (pack_edges is elementwise, so
+                        # the values match a whole-array pack exactly)
+                        keys = store.empty(f"pp{next(_STORE_SEQ)}_keys", m, np.int64)
+                        for lo in range(0, m, win):
+                            hi = min(lo + win, m)
+                            keys[lo:hi] = pack_edges(u[lo:hi], v[lo:hi])
+                    else:
+                        keys = pack_edges(u, v)
                 tas(keys)
 
         # Phase 2: parallel permutation of the edge list.
@@ -800,11 +932,11 @@ def _swap_loop(
             config.with_seed(int(rng.integers(0, 2**63))),
             stats=perm_stats,
         )
-        u = u[order]
-        v = v[order]
-        swapped = swapped[order]
+        u = _permuted("u", u, order)
+        v = _permuted("v", v, order)
+        swapped = _permuted("swapped", swapped, order)
         if keys is not None:
-            keys = keys[order]
+            keys = _permuted("keys", keys, order)
 
         # Phase 3: propose swaps on adjacent pairs.
         accepted = 0
@@ -920,6 +1052,8 @@ def fused_swap_loop(
     cost: CostModel | None = None,
     callback=None,
     checkpointer=None,
+    store=None,
+    window: int = 0,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Swap-phase entry for the fused pipeline (simple space only).
 
@@ -935,11 +1069,15 @@ def fused_swap_loop(
     rng = config.generator()
     m = len(u)
     n_pairs = m // 2
-    swapped = np.zeros(m, dtype=bool)
+    if store is not None and getattr(store, "kind", "ram") == "mmap":
+        swapped = store.empty(f"fused{next(_STORE_SEQ)}_swapped", m, np.bool_)
+        swapped[:] = False
+    else:
+        swapped = np.zeros(m, dtype=bool)
     u, v, _ = _swap_loop(
         u, v, swapped, iterations, m, n_pairs, rng, config, table, tas,
         True, True, stats, cost, callback, n_vertices, preregistered=True,
-        checkpointer=checkpointer,
+        checkpointer=checkpointer, store=store, window=window,
     )
     return u, v
 

@@ -19,7 +19,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Histogram", "Metrics", "SampledTimer", "record_table_stats"]
+__all__ = [
+    "Histogram",
+    "Metrics",
+    "SampledTimer",
+    "record_table_stats",
+    "record_memory_stats",
+]
 
 
 @dataclass
@@ -181,3 +187,42 @@ def record_table_stats(metrics: Metrics, table, *, prefix: str = "swap.table") -
     max_probe = getattr(table, "max_probe", None)
     if max_probe is not None:
         metrics.set_gauge(f"{prefix}.max_probe", float(max_probe))
+
+
+def record_memory_stats(metrics: Metrics) -> None:
+    """Record the process's memory gauges at a phase boundary.
+
+    - ``mem.rss_peak`` — peak resident set size in bytes
+      (``getrusage(RUSAGE_SELF).ru_maxrss``; the kernel reports KiB on
+      Linux, bytes on macOS).  Monotone over the process lifetime, so
+      repeated samples show which phase drove the peak.
+    - ``store.bytes_mapped`` — bytes currently mapped by live
+      out-of-core backing stores
+      (:func:`repro.core.storage.total_bytes_mapped`); ``0`` for an
+      all-RAM run, the spill footprint for an out-of-core one.
+
+    Gauges overwrite, so the ``metrics.snapshot`` trace tail carries the
+    last sample of each; intermediate samples are visible to any code
+    reading the registry between phases.
+    """
+    try:
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform != "darwin":
+            peak *= 1024  # Linux reports KiB
+        metrics.set_gauge("mem.rss_peak", float(peak))
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX host
+        pass
+    try:
+        from repro.core.storage import total_bytes_mapped
+
+        mapped = float(total_bytes_mapped())
+        metrics.set_gauge("store.bytes_mapped", mapped)
+        # gauges keep only the last sample; the histogram retains the
+        # peak across phase boundaries (max), which is what the scale
+        # benchmark and the out-of-core CI smoke assert on
+        metrics.observe("store.bytes_mapped", mapped)
+    except ImportError:  # pragma: no cover - defensive
+        pass

@@ -17,7 +17,11 @@ from typing import Iterable
 __all__ = ["TRACE_SCHEMA_VERSION", "TraceSchemaError", "validate_trace",
            "validate_trace_file"]
 
-TRACE_SCHEMA_VERSION = 1
+#: Version 2 adds the memory gauges (``mem.rss_peak``,
+#: ``store.bytes_mapped``) to the ``metrics.snapshot`` tail event and
+#: pins that event's attrs shape (``attrs.metrics`` with
+#: counters/gauges/histograms objects), which this validator now checks.
+TRACE_SCHEMA_VERSION = 2
 
 #: required keys per record kind
 _REQUIRED = {
@@ -65,6 +69,17 @@ def _check_record(i: int, rec: dict) -> None:
     if kind == "span":
         if not isinstance(rec["dur"], (int, float)) or rec["dur"] < 0:
             raise TraceSchemaError(f"record {i}: dur must be a non-negative number")
+    if kind == "event" and rec["name"] == "metrics.snapshot":
+        snap = rec["attrs"].get("metrics")
+        if not isinstance(snap, dict):
+            raise TraceSchemaError(
+                f"record {i}: metrics.snapshot attrs must carry a "
+                "'metrics' object")
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(snap.get(section), dict):
+                raise TraceSchemaError(
+                    f"record {i}: metrics.snapshot metrics.{section} "
+                    "must be an object")
 
 
 def validate_trace(records: Iterable[dict]) -> dict:

@@ -11,7 +11,7 @@ instrumentation site and nothing else.
 
 Record shapes (schema version :data:`~repro.obs.schema.TRACE_SCHEMA_VERSION`)::
 
-    {"kind": "meta",  "name": "run", "schema": 1, "run_id": ..., "pid": ..., "ts": 0.0}
+    {"kind": "meta",  "name": "run", "schema": 2, "run_id": ..., "pid": ..., "ts": 0.0}
     {"kind": "span",  "name": ..., "id": 7, "parent": 3, "ts": ..., "dur": ..., "attrs": {...}}
     {"kind": "event", "name": ..., "id": 8, "parent": 7, "ts": ..., "attrs": {...}}
 
@@ -35,6 +35,7 @@ import uuid
 from typing import Any, Iterator
 
 from repro.obs.metrics import Metrics
+from repro.obs.schema import TRACE_SCHEMA_VERSION
 
 __all__ = ["RunTrace", "current", "reset_for_worker"]
 
@@ -201,7 +202,7 @@ class RunTrace:
         self._record({
             "kind": "meta",
             "name": "run",
-            "schema": 1,
+            "schema": TRACE_SCHEMA_VERSION,
             "run_id": self.run_id,
             "pid": os.getpid(),
             "ts": 0.0,

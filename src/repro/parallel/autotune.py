@@ -48,7 +48,14 @@ from dataclasses import dataclass, field
 from repro.parallel.cost_model import PhaseCost
 from repro.parallel.hashtable import effective_shard_count
 
-__all__ = ["TuneSnapshot", "TunePlan", "plan_generation", "plan_swap"]
+__all__ = [
+    "TuneSnapshot",
+    "TunePlan",
+    "StoragePlan",
+    "plan_generation",
+    "plan_swap",
+    "plan_storage",
+]
 
 #: keys one worker should own per TestAndSet round before a second
 #: worker pays for itself (used when no timing observation is available)
@@ -276,5 +283,103 @@ def plan_swap(config, snapshot: TuneSnapshot) -> TunePlan:
             f"swap probe: m={snapshot.edges} seconds={snapshot.seconds:.4f} "
             f"attempts={snapshot.table_attempts} failures={snapshot.table_failures} "
             f"ceiling={ceiling} -> workers={workers} shards={shards} batch={batch}"
+        ),
+    )
+
+
+#: minimum windowed-permutation window (elements); smaller windows pay
+#: one python-level loop iteration per handful of rows for no residency
+#: benefit
+_MIN_WINDOW = 1 << 14
+
+#: default window when no budget constrains it (see DEFAULT_WINDOW in
+#: repro.core.storage; duplicated as a plain number to keep this module
+#: import-cycle-free)
+_DEFAULT_WINDOW = 1 << 20
+
+
+@dataclass(frozen=True)
+class StoragePlan:
+    """A memory-budget-aware storage decision for one phase.
+
+    Pure data, produced by :func:`plan_storage` from plain byte counts so
+    this module never imports :mod:`repro.core.storage` (which sits
+    behind ``repro.core.__init__`` → ``generate`` → this module).
+
+    Attributes
+    ----------
+    store:
+        Resolved backing store for the phase's persistent arrays:
+        ``"ram"`` or ``"mmap"`` (never ``"auto"``).
+    window:
+        Elements per windowed copy/permutation step.  Sized so one
+        window of every simultaneously-touched array fits comfortably in
+        the budget; ``0`` when the store is ``"ram"`` (fancy indexing
+        stays whole-array).
+    table_spill:
+        Whether the sharded hash table should use file-backed segments
+        (its estimated footprint does not fit the budget either).
+    reason:
+        Human-readable decision record, mirrored into the ``tune.replan``
+        trace event (``compare=False`` so plans compare on substance).
+    """
+
+    store: str
+    window: int
+    table_spill: bool
+    reason: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.store not in ("ram", "mmap"):
+            raise ValueError(f"store must be 'ram' or 'mmap', got {self.store!r}")
+        if self.window < 0:
+            raise ValueError(f"window must be >= 0, got {self.window}")
+
+
+def plan_storage(
+    config,
+    *,
+    working_set_bytes: int,
+    table_bytes: int = 0,
+    phase: str = "run",
+) -> StoragePlan:
+    """Choose store, window size, and table spill for one phase.
+
+    Deterministic in its inputs: ``config.store`` and
+    ``config.memory_budget_bytes`` plus the phase's estimated persistent
+    working set (and optionally the hash table's shared-segment
+    footprint).  Like every planner here it only moves execution
+    geometry — outputs are bitwise-identical whichever plan comes back.
+    """
+    budget = int(getattr(config, "memory_budget_bytes", 0))
+    kind = getattr(config, "store", "auto")
+    working_set_bytes = int(working_set_bytes)
+    table_bytes = int(table_bytes)
+    if kind == "auto":
+        store = "mmap" if (budget > 0 and working_set_bytes > budget) else "ram"
+    elif kind in ("ram", "mmap"):
+        store = kind
+    else:
+        raise ValueError(f"unknown store kind {kind!r}")
+    if store == "ram":
+        window = 0
+    elif budget > 0:
+        # a permutation step touches ~4 arrays (src window, dst window,
+        # the order slice, and the gathered source pages), int64 rows;
+        # aim each step at ~1/8 of the budget
+        window = max(_MIN_WINDOW, min(_DEFAULT_WINDOW, budget // (8 * 4 * 8)))
+    else:
+        window = _DEFAULT_WINDOW
+    table_spill = bool(
+        budget > 0 and table_bytes > 0 and table_bytes + working_set_bytes > budget
+    )
+    return StoragePlan(
+        store=store,
+        window=int(window),
+        table_spill=table_spill,
+        reason=(
+            f"{phase}: working_set={working_set_bytes} table={table_bytes} "
+            f"budget={budget} store={kind!r} -> {store} window={window} "
+            f"table_spill={table_spill}"
         ),
     )

@@ -366,6 +366,7 @@ class ShardedEdgeHashTable:
         probing: str = "linear",
         workers_hint: int = 1,
         arena=None,
+        spill: bool = False,
         _attach: tuple | None = None,
     ) -> None:
         if _attach is not None:
@@ -389,10 +390,22 @@ class ShardedEdgeHashTable:
             slots_per_shard = _next_pow2(
                 max(16, -(-4 * max(capacity_hint, 1) // n_shards))
             )
-            self._shm_slots = SharedArray((n_shards, slots_per_shard), np.int64)
+            if spill:
+                # file-backed segment mode: slots and counters map a
+                # pid-stamped spill file (MAP_SHARED, so same-host workers
+                # share the pages exactly like a /dev/shm segment) instead
+                # of consuming shared-memory capacity.  The single-writer-
+                # per-shard routing is unchanged, so the atomics
+                # discipline — and every verdict — is identical.
+                from repro.core.storage import FileArray
+
+                segment_cls = FileArray
+            else:
+                segment_cls = SharedArray
+            self._shm_slots = segment_cls((n_shards, slots_per_shard), np.int64)
             self._shm_slots.array.fill(EMPTY_KEY)
             try:
-                self._shm_stats = SharedArray(
+                self._shm_stats = segment_cls(
                     (n_shards, len(SHARD_STAT_COLUMNS)), np.int64
                 )
             except BaseException:

@@ -103,6 +103,20 @@ class ParallelConfig:
         Pin any of ``processes``/``shards``/``batch_size`` to a non-zero
         value to opt that knob out of tuning.  No-op for the
         ``vectorized``/``serial`` backends.
+    store:
+        Backing store for the big per-run arrays (edge endpoints, packed
+        table keys, swapped flags): ``"ram"`` (plain arrays, the
+        historical layout), ``"mmap"`` (spill-file-backed arrays; graphs
+        larger than RAM page through a bounded window), or ``"auto"``
+        (default; spill exactly when the estimated working set exceeds
+        ``memory_budget_bytes``).  The store only moves bytes — outputs
+        are bitwise-identical across stores for the same seed/config.
+    memory_budget_bytes:
+        Approximate RAM budget for a run's persistent arrays.  ``0``
+        (default) means unlimited (``"auto"`` never spills).  A positive
+        budget drives the ``"auto"`` store choice, the windowed-swap
+        window size, and hash-table spill (see
+        :func:`repro.parallel.autotune.plan_storage`).
     """
 
     threads: int = 16
@@ -115,6 +129,8 @@ class ParallelConfig:
     faults: str = ""
     batch_size: int = 0
     autotune: bool = False
+    store: str = "auto"
+    memory_budget_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.threads < 1:
@@ -137,6 +153,14 @@ class ParallelConfig:
             )
         if self.batch_size < 0:
             raise ValueError(f"batch_size must be >= 0, got {self.batch_size}")
+        if self.store not in ("auto", "ram", "mmap"):
+            raise ValueError(
+                f"store must be one of ('auto', 'ram', 'mmap'), got {self.store!r}"
+            )
+        if self.memory_budget_bytes < 0:
+            raise ValueError(
+                f"memory_budget_bytes must be >= 0, got {self.memory_budget_bytes}"
+            )
 
     def generator(self) -> np.random.Generator:
         """A single generator derived from :attr:`seed`."""

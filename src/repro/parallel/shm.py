@@ -152,11 +152,19 @@ def ensure_shm_capacity(nbytes: int, *, label: str = "pipeline") -> None:
 
 @dataclass(frozen=True)
 class ShmDescriptor:
-    """Picklable handle to a :class:`SharedArray` segment."""
+    """Picklable handle to a :class:`SharedArray` segment.
+
+    ``kind`` distinguishes ``/dev/shm`` segments (``"shm"``, where
+    ``name`` is the segment name) from file-backed spill segments
+    (``"file"``, where ``name`` is the spill-file path; see
+    :class:`repro.core.storage.FileArray`).  Both attach through
+    :meth:`SharedArray.attach`.
+    """
 
     name: str
     shape: tuple
     dtype: str
+    kind: str = "shm"
 
     @property
     def nbytes(self) -> int:
@@ -219,6 +227,10 @@ class SharedArray:
         is idempotent and the owner's eventual ``unlink`` performs the
         single deregistration; no bpo-38119 workaround is required.
         """
+        if getattr(desc, "kind", "shm") == "file":
+            from repro.core.storage import FileArray
+
+            return FileArray.attach(desc)
         if faultinject.consume_shm_fault():
             raise OSError("injected shared-memory failure (fault plan)")
         shm = shared_memory.SharedMemory(name=desc.name)
@@ -317,9 +329,15 @@ class PipelineArena:
                     _manifest_dir(),
                     f"repro-shm-{os.getpid()}-{next(_MANIFEST_SEQ)}.json",
                 )
+            descs = [a.descriptor for a in self._arrays.values()]
             payload = {
                 "pid": os.getpid(),
-                "segments": [a.descriptor.name for a in self._arrays.values()],
+                "segments": [
+                    d.name for d in descs if getattr(d, "kind", "shm") == "shm"
+                ],
+                "files": [
+                    d.name for d in descs if getattr(d, "kind", "shm") == "file"
+                ],
             }
             with open(self._manifest_path, "w") as fh:
                 json.dump(payload, fh)
@@ -431,15 +449,18 @@ def _unlink_segment(name: str) -> bool:
 def reap_stale(*, manifest_dir: str | None = None) -> list[str]:
     """Unlink shared-memory segments whose owning process is gone.
 
-    Two sweeps, both restricted to this library's artifacts:
+    Three sweeps, all restricted to this library's artifacts:
 
     1. **manifests** — every ``repro-shm-<pid>-*.json`` arena manifest
-       whose stamped pid is dead has its listed segments unlinked and the
-       manifest removed;
+       whose stamped pid is dead has its listed segments (and any listed
+       file-backed spill segments) unlinked and the manifest removed;
     2. **name scan** — on hosts exposing ``/dev/shm``, every segment file
        named ``repro_<pid>_…`` with a dead owner pid is unlinked (covers
        segments created outside an arena: swap exchange buffers,
-       standalone tables, replay journals).
+       standalone tables, replay journals);
+    3. **spill files** — :func:`repro.core.storage.reap_stale_spill`
+       collects orphaned mmap spill files under the spill directory with
+       the same pid discipline.
 
     Returns the names of the segments actually removed.  Safe to run
     concurrently with live pipelines (live owners are skipped) and with
@@ -464,6 +485,7 @@ def reap_stale(*, manifest_dir: str | None = None) -> list[str]:
                     data = json.load(fh)
                 pid = int(data.get("pid", -1))
                 segments = list(data.get("segments", ()))
+                files = list(data.get("files", ()))
             except (OSError, ValueError, TypeError):
                 continue  # torn write or foreign file: leave it alone
             if _pid_alive(pid):
@@ -471,6 +493,14 @@ def reap_stale(*, manifest_dir: str | None = None) -> list[str]:
             for name in segments:
                 if name.startswith(SEGMENT_PREFIX) and _unlink_segment(name):
                     reaped.append(name)
+            for target in files:
+                if not os.path.basename(target).startswith("repro-spill-"):
+                    continue
+                try:
+                    os.unlink(target)
+                    reaped.append(target)
+                except OSError:
+                    pass
             try:
                 os.unlink(path)
             except OSError:  # pragma: no cover - racing reaper
@@ -489,4 +519,10 @@ def reap_stale(*, manifest_dir: str | None = None) -> list[str]:
                 continue
             if _unlink_segment(fn):
                 reaped.append(fn)
+    try:
+        from repro.core.storage import reap_stale_spill
+
+        reaped.extend(reap_stale_spill())
+    except Exception:  # pragma: no cover - spill reaping is best-effort
+        pass
     return reaped
