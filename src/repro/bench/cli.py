@@ -75,6 +75,7 @@ EXPERIMENTS = {
     "mixing": experiments.mixing_experiment,
     "observe": experiments.observe,
     "durable": experiments.durable,
+    "serve": experiments.serve,
 }
 
 

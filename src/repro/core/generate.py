@@ -80,16 +80,22 @@ from repro.parallel.rng import spawn_generators
 from repro.parallel.runtime import ParallelConfig, chunk_bounds
 from repro.parallel.shm import PipelineArena
 
-__all__ = ["GenerationReport", "generate_graph"]
+__all__ = ["GenerationReport", "generate_graph", "generation_fingerprint"]
 
 
-def _generation_fingerprint(dist, swap_iterations, config, probability_kwargs) -> str:
+def generation_fingerprint(
+    dist, swap_iterations, config, probability_kwargs=None
+) -> str:
     """Resume-compatibility fingerprint of a :func:`generate_graph` run.
 
     One fingerprint covers every phase's snapshots: it pins the degree
     distribution, seed, logical thread count, swap budget, and the
     probability-heuristic options — but not the backend or process
     count, so a run checkpointed on one backend resumes on any other.
+    The serving layer (:mod:`repro.serve`) uses the same digest as its
+    content-addressed result-cache key: two requests share a fingerprint
+    exactly when an uninterrupted run would produce bitwise-identical
+    output for both.
     """
     h = hashlib.sha256()
     h.update(np.ascontiguousarray(dist.degrees).tobytes())
@@ -308,7 +314,7 @@ def _generate(
     resume_snap = None
     if store is not None or resume_from is not None:
         faultinject.arm_from(config)
-        fingerprint = _generation_fingerprint(
+        fingerprint = generation_fingerprint(
             dist, swap_iterations, config, probability_kwargs
         )
         if resume_from is not None:

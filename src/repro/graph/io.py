@@ -20,6 +20,7 @@ from repro.graph.edgelist import EdgeList, EdgeListFormatError
 __all__ = [
     "save_edge_list",
     "load_edge_list",
+    "parse_edge_list_text",
     "save_degree_distribution",
     "load_degree_distribution",
     "save_metis",
@@ -27,37 +28,44 @@ __all__ = [
 ]
 
 
-def _parse_int_table(path, n_columns: int, what: str) -> np.ndarray:
-    """Parse a whitespace-separated integer table, tolerantly but loudly.
+def _parse_int_table_lines(lines, n_columns: int, what: str, path) -> np.ndarray:
+    """Parse whitespace-separated integer rows, tolerantly but loudly.
 
     Tolerated: ``#`` comment lines (and trailing ``#`` comments), blank
     lines, arbitrary leading/trailing whitespace, CRLF line endings.
     Rejected with a line-numbered :class:`EdgeListFormatError`: wrong
     column counts and non-integer fields — the failures ``np.loadtxt``
-    used to surface as context-free ``ValueError`` tracebacks.
+    used to surface as context-free ``ValueError`` tracebacks.  ``path``
+    labels the error source (a filesystem path, or e.g. ``<request>``
+    for in-memory payloads validated at serving admission).
     """
     rows: list[list[int]] = []
-    with open(path, encoding="utf-8", errors="replace") as fh:
-        for lineno, raw in enumerate(fh, start=1):
-            line = raw.split("#", 1)[0].strip()
-            if not line:
-                continue
-            tokens = line.split()
-            if len(tokens) != n_columns:
-                raise EdgeListFormatError(
-                    f"expected {n_columns} {what} columns, got {len(tokens)} "
-                    f"({line!r})",
-                    path=path,
-                    line=lineno,
-                )
-            try:
-                rows.append([int(tok) for tok in tokens])
-            except ValueError:
-                bad = next(t for t in tokens if not _is_int(t))
-                raise EdgeListFormatError(
-                    f"non-integer {what} field {bad!r}", path=path, line=lineno
-                ) from None
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if len(tokens) != n_columns:
+            raise EdgeListFormatError(
+                f"expected {n_columns} {what} columns, got {len(tokens)} "
+                f"({line!r})",
+                path=path,
+                line=lineno,
+            )
+        try:
+            rows.append([int(tok) for tok in tokens])
+        except ValueError:
+            bad = next(t for t in tokens if not _is_int(t))
+            raise EdgeListFormatError(
+                f"non-integer {what} field {bad!r}", path=path, line=lineno
+            ) from None
     return np.asarray(rows, dtype=np.int64).reshape(-1, n_columns)
+
+
+def _parse_int_table(path, n_columns: int, what: str) -> np.ndarray:
+    """File-backed wrapper of :func:`_parse_int_table_lines`."""
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        return _parse_int_table_lines(fh, n_columns, what, path)
 
 
 def _is_int(token: str) -> bool:
@@ -108,6 +116,34 @@ def load_edge_list(path) -> EdgeList:
             return EdgeList(data["u"], data["v"], int(data["n"]))
     n = _parse_header_n(path)
     pairs = _parse_int_table(path, 2, "endpoint")
+    if pairs.size == 0:
+        return EdgeList(np.empty(0, np.int64), np.empty(0, np.int64), n or 0)
+    return EdgeList(pairs[:, 0], pairs[:, 1], n)
+
+
+def parse_edge_list_text(text: str, *, path="<edge list>") -> EdgeList:
+    """Parse a text edge list from an in-memory string.
+
+    The exact tolerance and rejection rules of :func:`load_edge_list`
+    (comments, blank lines, CRLF; line-numbered
+    :class:`EdgeListFormatError` on malformed rows, including a
+    ``# n=<count>`` header check), applied to a payload that never
+    touched the filesystem — the serving broker validates request bodies
+    with this at admission, so a malformed request is rejected with the
+    offending line number instead of poisoning a worker pool.
+    """
+    lines = text.splitlines()
+    n = None
+    if lines and lines[0].startswith("#") and "n=" in lines[0]:
+        rest = lines[0].split("n=")[1].split()
+        token = rest[0] if rest else ""
+        try:
+            n = int(token)
+        except ValueError:
+            raise EdgeListFormatError(
+                f"malformed header vertex count n={token!r}", path=path, line=1
+            ) from None
+    pairs = _parse_int_table_lines(lines, 2, "endpoint", path)
     if pairs.size == 0:
         return EdgeList(np.empty(0, np.int64), np.empty(0, np.int64), n or 0)
     return EdgeList(pairs[:, 0], pairs[:, 1], n)

@@ -1,0 +1,804 @@
+"""The asyncio request broker: admission, queues, deadlines, retries.
+
+One :class:`Broker` owns the serving data path end-to-end:
+
+admission → bounded priority queues → dispatchers → worker threads
+→ :func:`~repro.core.generate.generate_graph` /
+:func:`~repro.core.swap.swap_edges` → content-addressed result cache.
+
+Threading model
+---------------
+Everything stateful — queues, the single-flight table, the cache, the
+circuit breaker, metrics and trace emission — is touched **only from the
+event-loop thread**.  Worker threads (a ``ThreadPoolExecutor``) run the
+CPU-bound pipeline and nothing else, with tracing suppressed
+(:func:`repro.obs.trace.suppressed`) so the loop thread keeps exclusive
+ownership of the trace's span stack and JSONL handle.  The pipeline
+itself fans out to *processes* under ``backend="process"``, so the GIL
+only serializes the thin numpy-free coordination layer.
+
+Failure model
+-------------
+- **Admission** rejects invalid requests (:class:`AdmissionError`) and
+  sheds load when the bounded queue is full or the broker is draining
+  (:class:`ShedError` with a machine-readable cause) — backpressure,
+  never OOM.
+- **Deadlines** bound the *wait*, not the computation: a
+  :class:`DeadlineError` waiter abandons a run that keeps going and
+  lands in the cache (an identical retry is then a cache hit).  Queued
+  jobs whose every waiter has expired are dropped before they waste a
+  worker.
+- **Retries** re-run a failed attempt with exponential backoff and
+  deterministic jitter, up to the job's budget; the budget exhausting
+  yields :class:`RetriesExhaustedError` carrying the last error.
+- **The circuit breaker** watches consecutive failures/degradations and
+  steps *new* work down the bitwise-identical execution ladder (fused →
+  phased → vectorized) instead of failing requests; after a cooldown it
+  probes one rung back up.  Because every rung produces the same bits,
+  the breaker changes execution topology, never results.
+- **Drain** (SIGTERM or :meth:`Broker.drain`) stops admitting, finishes
+  in-flight jobs, persists still-queued specs to
+  ``drain_dir/pending-jobs.json`` (atomic write), reaps stale shm/spill/
+  checkpoint artifacts, and resolves abandoned waiters with typed
+  errors.  A restarted broker resubmits the persisted specs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal as signal_module
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.checkpoint import reap_stale_checkpoints
+from repro.core.generate import generate_graph
+from repro.core.storage import reap_stale_spill
+from repro.core.swap import SwapStats, swap_edges
+from repro.graph.edgelist import EdgeList
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import Metrics
+from repro.parallel import shm
+from repro.parallel.mp_backend import PoolFaultError
+from repro.parallel.runtime import ParallelConfig
+from repro.serve.cache import CachedResult, ResultCache
+from repro.serve.jobs import (
+    PRIORITIES,
+    AdmissionError,
+    DeadlineError,
+    Job,
+    JobResult,
+    JobSpec,
+    RetriesExhaustedError,
+    ShedError,
+    admit,
+)
+
+__all__ = ["ServeConfig", "CircuitBreaker", "Broker", "PENDING_JOBS_FILE"]
+
+#: drain checkpoint filename under ``ServeConfig.drain_dir``
+PENDING_JOBS_FILE = "pending-jobs.json"
+
+#: execution-ladder rungs the breaker steps down: 0 = as configured
+#: (fused for the process backend), 1 = phased composition, 2 = the
+#: vectorized engine for swap jobs (whose output is bitwise-identical
+#: across backends); generate jobs stay on the phased composition at
+#: rung 2 — their generation phase is bitwise-stable only within the
+#: process backend's own ladder (fused == phased == inline chunk
+#: replay), and :func:`~repro.core.generate.generate_graph` already
+#: degrades the swap tail to the vectorized engine internally when its
+#: pool fails.  Every rung a given job can land on produces its rung-0
+#: bits.
+LADDER = ("fused", "phased", "vectorized")
+
+#: attempt errors worth retrying: pool supervision gave up, the OS took
+#: away shared memory / file descriptors, or an allocation failed —
+#: all plausibly transient on a loaded host.  Admission and deadline
+#: errors are never retried.
+RETRYABLE = (PoolFaultError, OSError, MemoryError)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Broker tuning knobs (all bounded-by-construction)."""
+
+    #: worker threads running pipeline jobs (each may fan out to
+    #: processes per ``parallel``)
+    workers: int = 2
+    #: total queued-job bound across all priorities; admission sheds
+    #: beyond it
+    queue_limit: int = 64
+    #: template :class:`ParallelConfig`; each job runs under
+    #: ``replace(parallel, seed=spec.seed)``
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    #: default wait bound in seconds (``None`` = wait forever) for specs
+    #: that don't carry their own
+    default_deadline: float | None = None
+    #: default retry budget (attempts = 1 + max_retries)
+    max_retries: int = 2
+    #: exponential backoff: ``min(cap, base * 2**(attempt-1))`` scaled by
+    #: deterministic jitter in [0.5, 1.0)
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    #: consecutive failures/degradations before the breaker steps down a rung
+    breaker_threshold: int = 3
+    #: seconds a tripped breaker waits before probing a rung back up
+    breaker_cooldown: float = 30.0
+    #: result-cache bounds
+    cache_entries: int = 128
+    cache_bytes: int = 256 << 20
+    #: periodic stale-artifact sweep cadence in seconds (0 = startup +
+    #: drain sweeps only)
+    reap_interval: float = 0.0
+    #: directory receiving the drain checkpoint (``None`` = queued jobs
+    #: are shed without persistence on drain)
+    drain_dir: str | None = None
+    #: per-fingerprint checkpoint stores for generate jobs (``None`` =
+    #: no mid-run durability); a resubmitted job resumes its own store
+    checkpoint_root: str | None = None
+    checkpoint_every: int = 0
+    #: test hook replacing the pipeline call: ``run_fn(job, config, rung)``
+    #: returning an :class:`EdgeList` or ``(EdgeList, stats_dict)``
+    run_fn: object = None
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over the execution ladder.
+
+    ``record(rung, ok=..., degraded=...)`` feeds it attempt outcomes;
+    ``rung()`` answers which rung *new* work should start on.  A clean
+    run that was already forced to degrade mid-flight (the pipeline's own
+    internal ladder) counts as a failure signal: the breaker's job is to
+    stop sending new work down a path that keeps falling over.  After
+    ``cooldown`` seconds at an elevated rung, the next job probes one
+    rung up; its outcome decides whether the breaker steps down or
+    re-arms the cooldown.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown: float = 30.0, *,
+                 clock=time.monotonic) -> None:
+        self.threshold = max(1, int(threshold))
+        self.cooldown = float(cooldown)
+        self.clock = clock
+        self.trips = 0
+        self._rung = 0
+        self._consecutive = 0
+        self._since = 0.0
+
+    @property
+    def level(self) -> int:
+        """The breaker's resting rung (ignoring half-open probes)."""
+        return self._rung
+
+    def rung(self) -> int:
+        """Rung for the next attempt; one up the ladder when half-open."""
+        if self._rung > 0 and self.clock() - self._since >= self.cooldown:
+            return self._rung - 1
+        return self._rung
+
+    def record(self, rung: int, *, ok: bool, degraded: bool = False) -> bool:
+        """Feed one attempt's outcome; returns True when the breaker trips."""
+        if ok and not degraded:
+            self._consecutive = 0
+            if rung < self._rung:
+                # successful half-open probe: adopt the healthier rung
+                self._rung = rung
+                self._since = self.clock()
+            return False
+        self._consecutive += 1
+        if rung < self._rung:
+            # failed probe: stay degraded, restart the cooldown
+            self._since = self.clock()
+            self._consecutive = 0
+            return False
+        if self._consecutive >= self.threshold and self._rung < len(LADDER) - 1:
+            self._rung += 1
+            self._consecutive = 0
+            self._since = self.clock()
+            self.trips += 1
+            return True
+        return False
+
+
+class _Inflight:
+    """Loop-thread bookkeeping for one admitted, not-yet-resolved job."""
+
+    __slots__ = (
+        "job", "future", "enqueued", "trace_t0", "deadlines", "attempts",
+        "priority",
+    )
+
+    def __init__(self, job: Job, future: asyncio.Future, *, trace_t0: float):
+        self.job = job
+        self.future = future
+        self.enqueued = time.monotonic()
+        self.trace_t0 = trace_t0
+        #: absolute monotonic deadlines, one per waiter (None = unbounded)
+        self.deadlines: list[float | None] = []
+        self.attempts = 0
+        self.priority = job.spec.priority
+
+    def expired(self, now: float) -> bool:
+        """Every waiter's deadline has elapsed (no unbounded waiter left)."""
+        return bool(self.deadlines) and all(
+            d is not None and now >= d for d in self.deadlines
+        )
+
+
+class Broker:
+    """The serving broker.  One instance per event loop; see module docs."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        if self.config.workers < 1:
+            raise ValueError("ServeConfig.workers must be >= 1")
+        if self.config.queue_limit < 1:
+            raise ValueError("ServeConfig.queue_limit must be >= 1")
+        self.cache = ResultCache(
+            max_entries=self.config.cache_entries,
+            max_bytes=self.config.cache_bytes,
+        )
+        self.breaker = CircuitBreaker(
+            self.config.breaker_threshold, self.config.breaker_cooldown
+        )
+        self.metrics = Metrics()
+        self._queues: dict[str, deque[_Inflight]] = {
+            p: deque() for p in PRIORITIES
+        }
+        self._queued = 0
+        self._inflight: dict[str, _Inflight] = {}
+        self._running = 0
+        self._runs = 0
+        self._started = False
+        self._draining = False
+        self._drain_summary: dict = {}
+        self._tr: obs_trace.RunTrace | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._cond: asyncio.Condition | None = None
+        self._drained: asyncio.Event | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._dispatchers: list[asyncio.Task] = []
+        self._reap_task: asyncio.Task | None = None
+        self._warm_tasks: list[asyncio.Task] = []
+        self._signals: list[int] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind to the running loop, sweep stale artifacts, resume drains."""
+        if self._started:
+            raise RuntimeError("broker already started")
+        self._loop = asyncio.get_running_loop()
+        self._tr = obs_trace.current()
+        if self._tr is not None:
+            # share the run's registry so serve.* counters land in the
+            # trace's metrics.snapshot tail
+            self.metrics = self._tr.metrics
+        self._cond = asyncio.Condition()
+        self._drained = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-serve"
+        )
+        swept = self._reap()
+        self._event("serve.reap", startup=True, **swept)
+        self._dispatchers = [
+            self._loop.create_task(self._dispatch(i), name=f"serve-dispatch-{i}")
+            for i in range(self.config.workers)
+        ]
+        if self.config.reap_interval > 0:
+            self._reap_task = self._loop.create_task(
+                self._reap_loop(), name="serve-reap"
+            )
+        self._started = True
+        self._resume_pending()
+
+    def install_signal_handlers(self, signals=(signal_module.SIGTERM,)) -> None:
+        """Route ``signals`` (default SIGTERM) to a graceful drain."""
+        if not self._started:
+            raise RuntimeError("start() the broker before installing handlers")
+        for sig in signals:
+            self._loop.add_signal_handler(sig, self._on_signal, sig)
+            self._signals.append(sig)
+
+    def _on_signal(self, sig: int) -> None:
+        self._event("serve.signal", signal=int(sig))
+        if not self._draining:
+            self._loop.create_task(self.drain(), name="serve-drain")
+
+    async def drain(self) -> dict:
+        """Graceful shutdown: finish in-flight work, persist the rest.
+
+        Idempotent and awaitable from several places at once (the
+        SIGTERM handler and an explicit caller); every caller gets the
+        same summary dict.
+        """
+        if not self._started:
+            return {}
+        if self._draining:
+            await self._drained.wait()
+            return self._drain_summary
+        self._draining = True
+        t0 = time.monotonic()
+        self._event("serve.drain_begin", queued=self._queued,
+                    running=self._running)
+        # unqueue everything not yet running; persist, then shed
+        pending: list[_Inflight] = []
+        for q in self._queues.values():
+            while q:
+                pending.append(q.popleft())
+        self._queued = 0
+        self._gauges()
+        checkpointed = self._persist_pending(pending)
+        for inf in pending:
+            self._resolve_error(
+                inf,
+                ShedError(
+                    "broker draining; job was not started",
+                    cause="draining",
+                    checkpointed=checkpointed,
+                ),
+            )
+        # dispatchers finish their current job, then observe _draining
+        async with self._cond:
+            self._cond.notify_all()
+        for task in self._dispatchers:
+            await task
+        if self._reap_task is not None:
+            self._reap_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reap_task
+        for task in self._warm_tasks:
+            if not task.done():
+                await asyncio.wait({task})
+        self._executor.shutdown(wait=True)
+        for sig in self._signals:
+            with contextlib.suppress(ValueError, RuntimeError):
+                self._loop.remove_signal_handler(sig)
+        self._signals.clear()
+        swept = self._reap()
+        self._drain_summary = {
+            "drained_seconds": time.monotonic() - t0,
+            "checkpointed_jobs": len(pending) if checkpointed else 0,
+            "shed_jobs": 0 if checkpointed else len(pending),
+            "completed_runs": self._runs,
+            "reaped": swept,
+        }
+        self._event("serve.drain_end", **{
+            k: v for k, v in self._drain_summary.items() if k != "reaped"
+        })
+        self._drained.set()
+        return self._drain_summary
+
+    async def close(self) -> dict:
+        """Alias of :meth:`drain` (the only shutdown there is)."""
+        return await self.drain()
+
+    # -- submission --------------------------------------------------------
+
+    async def submit(self, spec: JobSpec) -> JobResult:
+        """Admit ``spec`` and wait (bounded by its deadline) for a result.
+
+        Raises the typed :class:`~repro.serve.jobs.ServeError` family:
+        :class:`AdmissionError`, :class:`ShedError`,
+        :class:`DeadlineError`, :class:`RetriesExhaustedError`.
+        """
+        if not self._started:
+            raise RuntimeError("start() the broker before submitting")
+        t_submit = time.monotonic()
+        if self._draining:
+            self._count("serve.shed")
+            raise ShedError("broker is draining", cause="draining",
+                            checkpointed=False)
+        cfg = replace(self.config.parallel, seed=spec.seed)
+        try:
+            job = admit(spec, cfg)
+        except AdmissionError:
+            self._count("serve.rejected")
+            raise
+        self._count("serve.admitted")
+        deadline = (
+            spec.deadline if spec.deadline is not None
+            else self.config.default_deadline
+        )
+        deadline_abs = None if deadline is None else t_submit + deadline
+
+        cached = self.cache.get(job.fingerprint)
+        if cached is not None:
+            self._count("serve.cache_hits")
+            self._gauges()
+            return self._result(job, cached, t_submit, cache_hit=True)
+        self._count("serve.cache_misses")
+
+        inf = self._inflight.get(job.fingerprint)
+        if inf is not None:
+            # single-flight: coalesce onto the identical in-flight run
+            self._count("serve.coalesced")
+            inf.deadlines.append(deadline_abs)
+            cached = await self._wait(inf, deadline, deadline_abs)
+            return self._result(job, cached, t_submit, coalesced=True)
+
+        if self._queued >= self.config.queue_limit:
+            self._count("serve.shed")
+            raise ShedError(
+                f"queue full ({self._queued}/{self.config.queue_limit} jobs)",
+                cause="queue_full",
+                depth=self._queued,
+                limit=self.config.queue_limit,
+            )
+        inf = _Inflight(
+            job,
+            self._loop.create_future(),
+            trace_t0=self._tr.clock() if self._tr is not None else 0.0,
+        )
+        inf.deadlines.append(deadline_abs)
+        self._inflight[job.fingerprint] = inf
+        self._queues[spec.priority].append(inf)
+        self._queued += 1
+        self._gauges()
+        async with self._cond:
+            self._cond.notify()
+        cached = await self._wait(inf, deadline, deadline_abs)
+        return self._result(job, cached, t_submit)
+
+    async def _wait(self, inf: _Inflight, deadline: float | None,
+                    deadline_abs: float | None) -> CachedResult:
+        """Await the shared future; the deadline bounds only this wait."""
+        try:
+            if deadline_abs is None:
+                return await asyncio.shield(inf.future)
+            remaining = deadline_abs - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError
+            return await asyncio.wait_for(asyncio.shield(inf.future), remaining)
+        except TimeoutError:
+            self._count("serve.deadline_exceeded")
+            raise DeadlineError(
+                f"deadline of {deadline}s elapsed before a result was ready "
+                "(the run continues; an identical retry may hit the cache)",
+                deadline=deadline,
+                fingerprint=inf.job.fingerprint,
+            ) from None
+
+    def _result(self, job: Job, cached: CachedResult, t_submit: float, *,
+                cache_hit: bool = False, coalesced: bool = False) -> JobResult:
+        total = time.monotonic() - t_submit
+        self._observe("serve.total_seconds", total)
+        return JobResult(
+            graph=cached.graph(),
+            fingerprint=job.fingerprint,
+            cache_hit=cache_hit,
+            coalesced=coalesced,
+            attempts=int(cached.stats.get("attempts", 0)),
+            total_seconds=total,
+            run=dict(cached.stats),
+        )
+
+    # -- dispatch / execution ----------------------------------------------
+
+    def _pop(self) -> _Inflight | None:
+        for p in PRIORITIES:
+            q = self._queues[p]
+            if q:
+                self._queued -= 1
+                return q.popleft()
+        return None
+
+    async def _dispatch(self, idx: int) -> None:
+        """One dispatcher: pull highest-priority work, run it to resolution."""
+        while True:
+            async with self._cond:
+                while self._queued == 0 and not self._draining:
+                    await self._cond.wait()
+                inf = self._pop()
+            if inf is None:  # draining and empty
+                return
+            self._gauges()
+            now = time.monotonic()
+            if inf.expired(now):
+                # nobody is waiting anymore: drop instead of burning a worker
+                self._count("serve.expired")
+                self._resolve_error(
+                    inf,
+                    DeadlineError(
+                        "every waiter's deadline elapsed before the job started",
+                        fingerprint=inf.job.fingerprint,
+                    ),
+                )
+                continue
+            self._observe("serve.queue_seconds", now - inf.enqueued)
+            await self._execute(inf)
+
+    async def _execute(self, inf: _Inflight) -> None:
+        """Run one job with retries/backoff; resolve its shared future."""
+        self._running += 1
+        self._gauges()
+        job = inf.job
+        spec = job.spec
+        cfg = replace(self.config.parallel, seed=spec.seed)
+        budget = (
+            spec.max_retries if spec.max_retries is not None
+            else self.config.max_retries
+        )
+        jitter = np.random.default_rng(int(job.fingerprint[:12], 16))
+        last: BaseException | None = None
+        try:
+            while True:
+                inf.attempts += 1
+                rung = self.breaker.rung()
+                t0 = time.monotonic()
+                try:
+                    graph, stats = await self._loop.run_in_executor(
+                        self._executor, self._run_job, job, cfg, rung
+                    )
+                except RETRYABLE as exc:
+                    last = exc
+                    self._count("serve.attempt_failures")
+                    if self.breaker.record(rung, ok=False):
+                        self._breaker_trip()
+                    if inf.attempts > budget:
+                        self._count("serve.failed")
+                        self._job_span(inf, outcome="failed", rung=rung)
+                        self._resolve_error(
+                            inf,
+                            RetriesExhaustedError(
+                                f"{inf.attempts} attempts failed; last: {exc}",
+                                attempts=inf.attempts,
+                                last=repr(exc),
+                                fingerprint=job.fingerprint,
+                            ),
+                        )
+                        return
+                    self._count("serve.retries")
+                    delay = min(
+                        self.config.backoff_cap,
+                        self.config.backoff_base * 2 ** (inf.attempts - 1),
+                    ) * (0.5 + 0.5 * float(jitter.random()))
+                    self._event(
+                        "serve.retry", fingerprint=job.fingerprint[:12],
+                        attempt=inf.attempts, delay=round(delay, 4),
+                        error=type(exc).__name__,
+                    )
+                    await asyncio.sleep(delay)
+                    continue
+                except asyncio.CancelledError as exc:
+                    # the dispatcher task itself is being cancelled (loop
+                    # teardown): release the waiters, then keep cancelling
+                    self._resolve_error(inf, exc)
+                    raise
+                except Exception as exc:  # non-retryable: fail fast
+                    self._count("serve.failed")
+                    self._job_span(inf, outcome="error", rung=rung)
+                    self._resolve_error(inf, exc)
+                    return
+                run_seconds = time.monotonic() - t0
+                degraded = bool(stats.get("degraded"))
+                if self.breaker.record(rung, ok=True, degraded=degraded):
+                    self._breaker_trip()
+                stats.update(
+                    attempts=inf.attempts,
+                    rung=rung,
+                    ladder=LADDER[rung],
+                    run_seconds=run_seconds,
+                    kind=job.kind,
+                )
+                self._runs += 1
+                self._count("serve.runs")
+                self._observe("serve.run_seconds", run_seconds)
+                cached = self.cache.put(
+                    CachedResult(
+                        fingerprint=job.fingerprint,
+                        u=graph.u, v=graph.v, n=graph.n, stats=stats,
+                    )
+                )
+                self._job_span(
+                    inf, outcome="ok", rung=rung, degraded=degraded,
+                    edges=int(cached.graph().m),
+                )
+                self._inflight.pop(job.fingerprint, None)
+                if not inf.future.done():
+                    inf.future.set_result(cached)
+                return
+        finally:
+            self._running -= 1
+            self._gauges()
+
+    def _run_job(self, job: Job, cfg: ParallelConfig, rung: int):
+        """Worker-thread body: the actual pipeline call, tracing suppressed.
+
+        Returns ``(EdgeList, stats_dict)``.  ``rung`` applies the
+        breaker's ladder position: 1 forces the phased composition,
+        2 forces the vectorized reference engine — both produce the same
+        bits as rung 0.
+        """
+        with obs_trace.suppressed():
+            if rung >= 2 and cfg.backend == "process" and job.kind == "swap":
+                # only the swap engine is bitwise-identical across
+                # backends; generate jobs keep the process kernels and
+                # rely on the pipeline's internal (also bitwise) ladder
+                cfg = replace(cfg, backend="vectorized")
+            if self.config.run_fn is not None:
+                out = self.config.run_fn(job, cfg, rung)
+                if isinstance(out, tuple):
+                    graph, stats = out
+                    return graph, dict(stats)
+                return out, {"edges": int(out.m)}
+            if job.kind == "generate":
+                ckpt_dir, resume = self._checkpoint_paths(job)
+                graph, report = generate_graph(
+                    job.dist,
+                    swap_iterations=job.spec.swap_iterations,
+                    config=cfg,
+                    pipeline=(False if rung == 1 else None),
+                    checkpoint_dir=ckpt_dir,
+                    checkpoint_every=(
+                        self.config.checkpoint_every if ckpt_dir else 0
+                    ),
+                    resume_from=resume,
+                )
+                return graph, {
+                    "edges": int(graph.m),
+                    "degraded": bool(report.degraded),
+                    "resumed": bool(report.resumed),
+                    "fused": bool(report.fused),
+                    "faults": len(report.faults),
+                }
+            stats = SwapStats()
+            out = swap_edges(
+                job.graph, job.spec.swap_iterations, cfg, stats=stats
+            )
+            return out, {
+                "edges": int(out.m),
+                "degraded": bool(stats.degraded),
+                "faults": len(stats.faults),
+            }
+
+    def _checkpoint_paths(self, job: Job):
+        """Per-fingerprint checkpoint store dir (+ resume source if present)."""
+        root = self.config.checkpoint_root
+        if not root or job.kind != "generate":
+            return None, None
+        store_dir = Path(root) / job.fingerprint[:16]
+        resume = store_dir if store_dir.is_dir() and any(store_dir.iterdir()) else None
+        return store_dir, resume
+
+    # -- drain persistence -------------------------------------------------
+
+    def _persist_pending(self, pending: list[_Inflight]) -> bool:
+        """Atomically write still-queued specs to the drain checkpoint."""
+        if not pending or not self.config.drain_dir:
+            return False
+        drain_dir = Path(self.config.drain_dir)
+        drain_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": 1,
+            "jobs": [inf.job.spec.to_dict() for inf in pending],
+        }
+        target = drain_dir / PENDING_JOBS_FILE
+        tmp = drain_dir / f".{PENDING_JOBS_FILE}.tmp-{os.getpid()}"
+        tmp.write_text(json.dumps(payload, indent=1))
+        os.replace(tmp, target)
+        self._count("serve.drain_checkpointed", len(pending))
+        return True
+
+    def _resume_pending(self) -> None:
+        """Resubmit specs a previous broker persisted at drain."""
+        if not self.config.drain_dir:
+            return
+        target = Path(self.config.drain_dir) / PENDING_JOBS_FILE
+        if not target.is_file():
+            return
+        try:
+            payload = json.loads(target.read_text())
+            specs = [JobSpec.from_dict(d) for d in payload.get("jobs", [])]
+        except (ValueError, TypeError, AdmissionError):
+            self._event("serve.resume_corrupt", path=str(target))
+            return
+        finally:
+            with contextlib.suppress(OSError):
+                target.unlink()
+        for spec in specs:
+            self._warm_tasks.append(
+                self._loop.create_task(self._warm(spec), name="serve-warm")
+            )
+        if specs:
+            self._count("serve.resumed_jobs", len(specs))
+            self._event("serve.resume", jobs=len(specs))
+
+    async def _warm(self, spec: JobSpec) -> None:
+        """Run a resumed spec to completion; its result lands in the cache."""
+        with contextlib.suppress(Exception):
+            await self.submit(spec)
+
+    # -- stale-artifact reaping (satellite: long-lived server hygiene) -----
+
+    def _reap(self) -> dict:
+        """One sweep of shm segments, spill files, checkpoint stores."""
+        swept = {"shm": 0, "spill": 0, "checkpoints": 0}
+        with contextlib.suppress(OSError):
+            swept["shm"] = len(shm.reap_stale())
+        with contextlib.suppress(OSError):
+            swept["spill"] = len(reap_stale_spill())
+        if self.config.checkpoint_root:
+            with contextlib.suppress(OSError):
+                swept["checkpoints"] = len(
+                    reap_stale_checkpoints(self.config.checkpoint_root)
+                )
+        self._count("serve.reap_sweeps")
+        reaped = sum(swept.values())
+        if reaped:
+            self._count("serve.reaped_artifacts", reaped)
+        return swept
+
+    async def _reap_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.reap_interval)
+            swept = self._reap()
+            if sum(swept.values()):
+                self._event("serve.reap", startup=False, **swept)
+
+    # -- bookkeeping helpers (loop thread only) ----------------------------
+
+    def _resolve_error(self, inf: _Inflight, exc: BaseException) -> None:
+        self._inflight.pop(inf.job.fingerprint, None)
+        if not inf.future.done():
+            inf.future.set_exception(exc)
+            # every waiter may have already abandoned this future (e.g.
+            # all deadlines fired); mark the exception retrieved so the
+            # loop doesn't log a phantom "never retrieved" warning
+            inf.future.exception()
+
+    def _breaker_trip(self) -> None:
+        self._count("serve.breaker_trips")
+        self._event(
+            "serve.breaker", level=self.breaker.level,
+            ladder=LADDER[self.breaker.level],
+        )
+
+    def _job_span(self, inf: _Inflight, **attrs) -> None:
+        if self._tr is not None:
+            self._tr.span_record(
+                "serve:job", inf.trace_t0,
+                kind=inf.job.kind, priority=inf.priority,
+                fingerprint=inf.job.fingerprint[:12],
+                attempts=inf.attempts, **attrs,
+            )
+
+    def _count(self, name: str, value: float = 1.0) -> None:
+        self.metrics.inc(name, value)
+
+    def _observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def _gauges(self) -> None:
+        self.metrics.set_gauge("serve.queue_depth", self._queued)
+        self.metrics.set_gauge("serve.inflight", self._running)
+        self.metrics.set_gauge("serve.cache_entries", len(self.cache))
+        self.metrics.set_gauge("serve.cache_bytes", self.cache.nbytes)
+
+    def _event(self, name: str, **attrs) -> None:
+        if self._tr is not None:
+            self._tr.event(name, **attrs)
+
+    def stats(self) -> dict:
+        """Loop-thread snapshot of the broker's state and counters."""
+        return {
+            "queued": self._queued,
+            "running": self._running,
+            "runs": self._runs,
+            "inflight": len(self._inflight),
+            "draining": self._draining,
+            "breaker_level": self.breaker.level,
+            "breaker_trips": self.breaker.trips,
+            "cache": self.cache.snapshot(),
+            "counters": {
+                k: v for k, v in self.metrics.counters.items()
+                if k.startswith("serve.")
+            },
+        }

@@ -1,0 +1,219 @@
+"""Client facade and load generator for the serving broker.
+
+:class:`ServeClient` is the typed convenience surface over a
+:class:`~repro.serve.broker.Broker` — it builds
+:class:`~repro.serve.jobs.JobSpec` objects so callers never hand-roll
+request dicts.  :class:`Runner` is the load generator (the
+server/client/runner split of the huggingbench-style harness in
+SNIPPETS.md): it fires a configurable request mix at bounded
+concurrency, deliberately resubmitting duplicate specs so single-flight
+coalescing and the result cache are exercised, and reports latency
+percentiles (p50/p90/p99) plus a typed outcome census.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.jobs import (
+    AdmissionError,
+    DeadlineError,
+    JobResult,
+    JobSpec,
+    RetriesExhaustedError,
+    ServeError,
+    ShedError,
+)
+
+__all__ = ["ServeClient", "RunnerConfig", "RunnerStats", "Runner"]
+
+
+class ServeClient:
+    """Typed submission API over an in-process broker."""
+
+    def __init__(self, broker) -> None:
+        self._broker = broker
+
+    async def request(self, spec: JobSpec) -> JobResult:
+        """Submit a pre-built spec."""
+        return await self._broker.submit(spec)
+
+    async def generate(
+        self,
+        degrees=(),
+        counts=(),
+        *,
+        degree_sequence=(),
+        seed: int = 0,
+        swap_iterations: int = 10,
+        priority: str = "normal",
+        deadline: float | None = None,
+        max_retries: int | None = None,
+    ) -> JobResult:
+        """Generate a null model from a degree distribution."""
+        return await self.request(JobSpec(
+            kind="generate", degrees=tuple(degrees), counts=tuple(counts),
+            degree_sequence=tuple(degree_sequence), seed=seed,
+            swap_iterations=swap_iterations, priority=priority,
+            deadline=deadline, max_retries=max_retries,
+        ))
+
+    async def swap(
+        self,
+        edges_text: str | None = None,
+        *,
+        u=(),
+        v=(),
+        n: int | None = None,
+        seed: int = 0,
+        iterations: int = 10,
+        priority: str = "normal",
+        deadline: float | None = None,
+        max_retries: int | None = None,
+    ) -> JobResult:
+        """Randomize an existing edge list by double edge swaps."""
+        return await self.request(JobSpec(
+            kind="swap", edges_text=edges_text, u=tuple(u), v=tuple(v), n=n,
+            seed=seed, swap_iterations=iterations, priority=priority,
+            deadline=deadline, max_retries=max_retries,
+        ))
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Load-generator shape."""
+
+    #: total requests to fire
+    requests: int = 48
+    #: concurrent submissions in flight at once
+    concurrency: int = 8
+    #: every k-th request (k >= 2) reuses the previous request's spec, so
+    #: the stream carries exact duplicates that must coalesce or hit the
+    #: cache; 0 disables duplication
+    duplicate_every: int = 3
+    #: per-request deadline forwarded to the broker (None = unbounded)
+    deadline: float | None = None
+    #: deterministic spec-rotation seed
+    seed: int = 0
+
+
+@dataclass
+class RunnerStats:
+    """What one load-generation run measured."""
+
+    latencies: list = field(default_factory=list)
+    #: outcome tag -> count: ok / coalesced / cache / shed / deadline /
+    #: invalid / retries_exhausted / error
+    outcomes: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def percentiles(self) -> dict:
+        """p50/p90/p99 latency in milliseconds (empty run -> zeros)."""
+        if not self.latencies:
+            return {"p50_ms": 0.0, "p90_ms": 0.0, "p99_ms": 0.0}
+        lat = np.asarray(self.latencies, dtype=np.float64) * 1e3
+        p50, p90, p99 = np.percentile(lat, [50.0, 90.0, 99.0])
+        return {
+            "p50_ms": float(round(p50, 3)),
+            "p90_ms": float(round(p90, 3)),
+            "p99_ms": float(round(p99, 3)),
+        }
+
+    @property
+    def completed(self) -> int:
+        """Requests that returned a graph (fresh, coalesced, or cached)."""
+        return sum(
+            self.outcomes.get(k, 0) for k in ("ok", "coalesced", "cache")
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (the ``load`` block of ``BENCH_serve.json``)."""
+        out = {
+            "requests": len(self.latencies),
+            "completed": self.completed,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "outcomes": dict(sorted(self.outcomes.items())),
+        }
+        out.update(self.percentiles())
+        if self.wall_seconds > 0:
+            out["throughput_rps"] = round(
+                len(self.latencies) / self.wall_seconds, 3
+            )
+        return out
+
+
+class Runner:
+    """Fire a request stream at the broker; collect latency percentiles.
+
+    ``specs`` is the distinct-request pool; the runner rotates through it
+    deterministically and, per ``duplicate_every``, re-fires exact
+    duplicates.  Every outcome (including typed errors) is counted; every
+    request contributes a latency sample, so shed/deadline responses show
+    up in the percentiles as the fast rejections they are.
+    """
+
+    def __init__(self, config: RunnerConfig, client: ServeClient,
+                 specs: list) -> None:
+        if not specs:
+            raise ValueError("Runner needs at least one JobSpec")
+        self.config = config
+        self.client = client
+        self.specs = list(specs)
+
+    def _schedule(self) -> list:
+        """The deterministic request stream (length ``config.requests``)."""
+        rng = np.random.default_rng(self.config.seed)
+        stream = []
+        for i in range(self.config.requests):
+            dup = (
+                self.config.duplicate_every > 1
+                and stream
+                and i % self.config.duplicate_every == 0
+            )
+            if dup:
+                stream.append(stream[int(rng.integers(0, len(stream)))])
+            else:
+                stream.append(self.specs[i % len(self.specs)])
+        return stream
+
+    async def _fire(self, spec: JobSpec, sem: asyncio.Semaphore,
+                    stats: RunnerStats) -> None:
+        async with sem:
+            if self.config.deadline is not None and spec.deadline is None:
+                spec = JobSpec(**{**spec.to_dict(),
+                                  "deadline": self.config.deadline})
+            t0 = time.perf_counter()
+            try:
+                result = await self.client.request(spec)
+                tag = (
+                    "cache" if result.cache_hit
+                    else "coalesced" if result.coalesced
+                    else "ok"
+                )
+            except ShedError:
+                tag = "shed"
+            except DeadlineError:
+                tag = "deadline"
+            except AdmissionError:
+                tag = "invalid"
+            except RetriesExhaustedError:
+                tag = "retries_exhausted"
+            except ServeError:
+                tag = "error"
+            stats.latencies.append(time.perf_counter() - t0)
+            stats.outcomes[tag] = stats.outcomes.get(tag, 0) + 1
+
+    async def run(self) -> RunnerStats:
+        """Drive the whole stream; returns the measured stats."""
+        stats = RunnerStats()
+        sem = asyncio.Semaphore(max(1, self.config.concurrency))
+        t0 = time.perf_counter()
+        await asyncio.gather(
+            *(self._fire(spec, sem, stats) for spec in self._schedule())
+        )
+        stats.wall_seconds = time.perf_counter() - t0
+        return stats

@@ -1,0 +1,81 @@
+"""Result-cache semantics: LRU bounds, frozen payloads, counters."""
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import CachedResult, ResultCache
+
+
+def _entry(key: str, m: int = 4) -> CachedResult:
+    u = np.arange(m, dtype=np.int64)
+    return CachedResult(fingerprint=key, u=u, v=u + 1, n=m + 1)
+
+
+class TestCache:
+    def test_put_get_round_trip(self):
+        cache = ResultCache()
+        cache.put(_entry("a"))
+        hit = cache.get("a")
+        assert hit is not None
+        g = hit.graph()
+        assert g.m == 4 and g.n == 5
+        assert cache.get("missing") is None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_payload_frozen(self):
+        cache = ResultCache()
+        entry = cache.put(_entry("a"))
+        with pytest.raises(ValueError):
+            entry.u[0] = 99
+        with pytest.raises(ValueError):
+            entry.graph().u[0] = 99
+
+    def test_entry_bound_evicts_lru(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(_entry("a"))
+        cache.put(_entry("b"))
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put(_entry("c"))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+        assert cache.evictions == 1
+
+    def test_byte_bound_evicts(self):
+        one = _entry("a").nbytes
+        cache = ResultCache(max_entries=100, max_bytes=2 * one)
+        cache.put(_entry("a"))
+        cache.put(_entry("b"))
+        cache.put(_entry("c"))
+        assert len(cache) == 2
+        assert cache.nbytes <= 2 * one
+
+    def test_oversized_passes_through_uncached(self):
+        cache = ResultCache(max_entries=10, max_bytes=8)
+        out = cache.put(_entry("huge"))
+        assert out.graph().m == 4  # caller still gets the result
+        assert len(cache) == 0  # but the working set was not wiped
+
+    def test_duplicate_put_keeps_first_entry(self):
+        cache = ResultCache()
+        first = cache.put(_entry("a"))
+        second = cache.put(_entry("a"))
+        assert second is first
+
+    def test_snapshot_counters(self):
+        cache = ResultCache(max_entries=1)
+        cache.put(_entry("a"))
+        cache.get("a")
+        cache.get("b")
+        cache.put(_entry("c"))
+        snap = cache.snapshot()
+        assert snap == {
+            "entries": 1,
+            "bytes": _entry("c").nbytes,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+        }
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=-1)

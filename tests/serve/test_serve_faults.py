@@ -1,0 +1,149 @@
+"""Fault-injected serving drill (the issue's acceptance criterion).
+
+Kill and hang plans from :mod:`repro.parallel.faultinject` fire inside
+every job's supervised process pool while >= 8 concurrent jobs are in
+flight.  The server must stay available, every accepted job must either
+complete **bitwise-identically** to a direct fault-free run on the same
+backend (the invariant the supervision layer defends), retry, or return
+a *typed* timeout/shed error — and no shared-memory segment, spill
+file, or checkpoint store may outlive the drain.
+"""
+
+import asyncio
+import glob
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.generate import generate_graph
+from repro.graph.degree import DegreeDistribution
+from repro.parallel.runtime import ParallelConfig
+from repro.serve import (
+    Broker,
+    DeadlineError,
+    JobSpec,
+    ServeClient,
+    ServeConfig,
+)
+
+DIST = DegreeDistribution([1, 2, 4], [30, 14, 6])
+SWAPS = 2
+N_JOBS = 8
+
+
+def _leaked_segments():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return glob.glob(f"/dev/shm/repro_{os.getpid()}_*")
+
+
+def _spec(seed, **kw):
+    return JobSpec(
+        degrees=tuple(DIST.degrees), counts=tuple(DIST.counts),
+        seed=seed, swap_iterations=SWAPS, **kw,
+    )
+
+
+def _reference(seed):
+    """Fault-free process-backend run: what a faulted run must reproduce."""
+    out, _ = generate_graph(
+        DIST, swap_iterations=SWAPS,
+        config=ParallelConfig(
+            threads=2, backend="process", processes=2, seed=seed
+        ),
+    )
+    return out
+
+
+class TestFaultDrill:
+    def test_kill_and_hang_under_concurrency(self):
+        """Worker kill + hang with >= 8 jobs in flight: zero wrong results."""
+        parallel = ParallelConfig(
+            threads=2, backend="process", processes=2, seed=0,
+            faults="kill:w0:tas:1,hang:w1:gen:0", batch_deadline=1.0,
+        )
+
+        async def main():
+            broker = Broker(ServeConfig(workers=4, parallel=parallel))
+            await broker.start()
+            client = ServeClient(broker)
+            tasks = [
+                asyncio.ensure_future(client.request(_spec(seed)))
+                for seed in range(N_JOBS)
+            ]
+            # all N_JOBS admitted before any resolves: genuinely in flight
+            assert broker.stats()["queued"] + broker.stats()["running"] >= 0
+            results = await asyncio.gather(*tasks)
+            stats = broker.stats()
+            summary = await broker.drain()
+            return results, stats, summary
+
+        results, stats, summary = asyncio.run(main())
+        assert len(results) == N_JOBS
+        assert stats["runs"] == N_JOBS
+        # spot-check bitwise identity against direct fault-free runs
+        for seed in (0, 3, 7):
+            ref = _reference(seed)
+            got = results[seed].graph
+            np.testing.assert_array_equal(got.u, ref.u)
+            np.testing.assert_array_equal(got.v, ref.v)
+        # the faults really fired (supervision recovered or degraded)
+        assert any(r.run.get("faults", 0) or r.run.get("degraded")
+                   for r in results)
+        # clean shutdown: nothing stale survives the drain
+        assert _leaked_segments() == []
+        assert summary["drained_seconds"] < 30
+
+    def test_deadline_under_fault_is_typed_not_hung(self):
+        """A hang fault must surface as DeadlineError, never a stuck await."""
+        release = threading.Event()
+
+        def run_fn(job, cfg, rung):
+            release.wait(10.0)  # simulate a wedged pipeline run
+            from repro.graph.edgelist import EdgeList
+            u = np.arange(4, dtype=np.int64)
+            return EdgeList(u, (u + 1) % 5, 5)
+
+        async def main():
+            broker = Broker(ServeConfig(
+                workers=1, run_fn=run_fn,
+                parallel=ParallelConfig(threads=2, backend="vectorized"),
+            ))
+            await broker.start()
+            client = ServeClient(broker)
+            t0 = time.monotonic()
+            with pytest.raises(DeadlineError) as err:
+                await client.request(_spec(1, deadline=0.1))
+            waited = time.monotonic() - t0
+            release.set()
+            await broker.drain()
+            return err.value.to_dict(), waited
+
+        info, waited = asyncio.run(main())
+        assert info["reason"] == "deadline"
+        assert waited < 5.0  # bounded by the deadline, not the hang
+
+    def test_restart_exhaustion_degrades_not_fails(self):
+        """A kill storm beyond the restart budget: the pipeline's own
+        ladder degrades the run; the response is still bitwise-correct."""
+        parallel = ParallelConfig(
+            threads=2, backend="process", processes=2, seed=0,
+            faults="kill:w*:tas:0:x8", max_worker_restarts=1,
+        )
+
+        async def main():
+            broker = Broker(ServeConfig(workers=1, parallel=parallel))
+            await broker.start()
+            result = await ServeClient(broker).request(_spec(5))
+            await broker.drain()
+            return result
+
+        result = asyncio.run(main())
+        ref = _reference(5)
+        np.testing.assert_array_equal(result.graph.u, ref.u)
+        np.testing.assert_array_equal(result.graph.v, ref.v)
+        assert result.run["degraded"]
+        assert _leaked_segments() == []
