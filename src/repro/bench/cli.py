@@ -79,6 +79,37 @@ EXPERIMENTS = {
 }
 
 
+def _reap_dry_run(checkpoint_dir: str | None) -> int:
+    """Print what the startup reap *would* collect, deleting nothing."""
+    entries: list[dict] = []
+    try:
+        from repro.parallel.shm import report_stale
+
+        entries.extend(report_stale())
+    except Exception as exc:
+        print(f"shared-memory sweep failed: {exc}", file=sys.stderr)
+    if checkpoint_dir:
+        try:
+            from repro.core.checkpoint import report_stale_checkpoints
+
+            entries.extend(report_stale_checkpoints(checkpoint_dir))
+        except Exception as exc:
+            print(f"checkpoint sweep failed: {exc}", file=sys.stderr)
+    if not entries:
+        print("nothing stale: a reap would delete 0 artifacts")
+        return 0
+    total = sum(int(e.get("bytes", 0)) for e in entries)
+    print(f"a reap would delete {len(entries)} artifact(s), {total} bytes:")
+    for e in entries:
+        age = e.get("age_seconds")
+        age_s = f"{float(age):.0f}s" if age is not None else "?"
+        print(
+            f"  {e.get('kind', '?'):10s} pid={e.get('pid', '?'):<8} "
+            f"age={age_s:<8} bytes={e.get('bytes', 0):<12} {e.get('path')}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -115,9 +146,20 @@ def main(argv: list[str] | None = None) -> int:
         help="sample mixing diagnostics every K permutation rounds in the "
         "'observe' experiment (default 2; 0 disables)",
     )
+    parser.add_argument(
+        "--reap-dry-run",
+        action="store_true",
+        help="report the stale artifacts (shared-memory segments, spill "
+        "files, checkpoint tmp files) the startup reap would collect — "
+        "paths, owner pids, ages, sizes — then exit without deleting "
+        "anything or running experiments",
+    )
     args = parser.parse_args(argv)
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
+
+    if args.reap_dry_run:
+        return _reap_dry_run(args.checkpoint_dir)
 
     # collect shared-memory segments stranded by earlier crashed runs
     # before the process-backend experiments allocate fresh ones

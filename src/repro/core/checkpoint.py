@@ -40,8 +40,10 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import logging
 import os
 import secrets
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -59,7 +61,10 @@ __all__ = [
     "CheckpointStore",
     "run_fingerprint",
     "reap_stale_checkpoints",
+    "report_stale_checkpoints",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: On-disk snapshot format version; bumped on incompatible layout changes.
 #: (The raw payload mode below is additive — readers that predate it never
@@ -258,6 +263,7 @@ class CheckpointStore:
             "fingerprint": fingerprint,
             "meta": meta or {},
         }
+        flip_target: Path | None = None
         if raw:
             entries = {}
             for name, arr in arrs.items():
@@ -269,6 +275,8 @@ class CheckpointStore:
                     "bytes": int(arr.nbytes),
                     "sha256": self._write_raw(self._dir / fname, arr),
                 }
+                if flip_target is None and arr.nbytes:
+                    flip_target = self._dir / fname
             manifest["payload_kind"] = "raw"
             manifest["arrays"] = entries
             manifest["payload_bytes"] = total
@@ -283,6 +291,7 @@ class CheckpointStore:
             manifest["payload_bytes"] = len(payload)
             manifest["sha256"] = hashlib.sha256(payload).hexdigest()
             payload_len = len(payload)
+            flip_target = self._dir / payload_name
         _atomic_write(
             self._dir,
             self._dir / f"snap-{seq:08d}.json",
@@ -298,6 +307,11 @@ class CheckpointStore:
             )
             tr.metrics.inc("checkpoint.writes")
             tr.metrics.inc("checkpoint.bytes", payload_len)
+        # bitrot drill hook: corrupt the durable payload *after* its
+        # digest landed in the manifest — load-time SHA-256 verification
+        # plus the load_latest fallback are the detection/repair pair
+        if flip_target is not None:
+            faultinject.maybe_flip_file("checkpoint", flip_target)
         faultinject.fire_parent("checkpoint")
         return seq
 
@@ -484,19 +498,50 @@ class CheckpointStore:
                 return None
         return arrays
 
+    def _failed_digest(self, path: Path) -> str:
+        """The sha256 a failed snapshot's manifest *claimed*, best-effort."""
+        try:
+            with open(path, "rb") as fh:
+                manifest = json.load(fh)
+        except (OSError, ValueError):
+            return "<manifest unreadable>"
+        if not isinstance(manifest, dict):
+            return "<manifest malformed>"
+        if manifest.get("payload_kind") == "raw":
+            entries = manifest.get("arrays")
+            if isinstance(entries, dict):
+                digests = [
+                    str(e.get("sha256", "?"))
+                    for e in entries.values()
+                    if isinstance(e, dict)
+                ]
+                if digests:
+                    return ",".join(digests)
+        digest = manifest.get("sha256")
+        return str(digest) if digest else "<no digest recorded>"
+
     def load_latest(self, fingerprint: str | None = None) -> Checkpoint | None:
         """Newest snapshot that passes validation, or ``None``.
 
-        Corrupt or truncated snapshots are skipped silently (the atomic
-        write discipline means at most the newest can be torn).  If
-        ``fingerprint`` is given and the newest *valid* snapshot carries
-        a different one, :class:`CheckpointMismatchError` is raised —
-        falling back to an older snapshot would not fix a wrong-run
-        directory, and resuming it would corrupt the output.
+        Corrupt or truncated snapshots are skipped (the atomic write
+        discipline means a *torn* snapshot can only be the newest; more
+        than one failure, or a failure in an older snapshot, is evidence
+        of bitrot).  Every skip is surfaced: a WARNING log line naming
+        the failed snapshot and the digest its manifest claimed, a
+        ``checkpoint.fallback`` obs event, and a
+        ``checkpoint.fallbacks`` metric — falling back must never be
+        silent, because it replays work and may mask a corrupt disk.
+
+        If ``fingerprint`` is given and the newest *valid* snapshot
+        carries a different one, :class:`CheckpointMismatchError` is
+        raised — falling back to an older snapshot would not fix a
+        wrong-run directory, and resuming it would corrupt the output.
         """
+        skipped: list[tuple[int, Path]] = []
         for seq, path in sorted(self._manifests(), reverse=True):
             snap = self._decode(seq, path)
             if snap is None:
+                skipped.append((seq, path))
                 continue
             if fingerprint is not None and snap.fingerprint != fingerprint:
                 raise CheckpointMismatchError(
@@ -504,8 +549,37 @@ class CheckpointStore:
                     f"(fingerprint {snap.fingerprint[:12]}… != {fingerprint[:12]}…); "
                     "refusing to resume"
                 )
+            if skipped:
+                self._warn_fallback(skipped, snap)
             return snap
+        if skipped:
+            self._warn_fallback(skipped, None)
         return None
+
+    def _warn_fallback(
+        self, skipped: list[tuple[int, Path]], snap: Checkpoint | None
+    ) -> None:
+        """Surface skipped (corrupt/torn) snapshots on the fallback path."""
+        for seq, path in skipped:
+            digest = self._failed_digest(path)
+            logger.warning(
+                "checkpoint fallback: snapshot %s failed validation "
+                "(manifest claimed sha256 %s); %s",
+                path,
+                digest,
+                f"resuming from snapshot seq={snap.seq}" if snap is not None
+                else "no older valid snapshot remains",
+            )
+            tr = obs_trace.current()
+            if tr is not None:
+                tr.event(
+                    "checkpoint.fallback",
+                    failed_seq=seq,
+                    failed_path=str(path),
+                    failed_sha256=digest,
+                    resumed_seq=snap.seq if snap is not None else None,
+                )
+                tr.metrics.inc("checkpoint.fallbacks")
 
     def clear(self) -> None:
         """Remove every snapshot file in the store (the directory stays)."""
@@ -601,3 +675,72 @@ def reap_stale_checkpoints(root) -> list[str]:
             except OSError:  # pragma: no cover - leftover foreign files
                 pass
     return removed
+
+
+def report_stale_checkpoints(root) -> list[dict]:
+    """Dry-run twin of :func:`reap_stale_checkpoints`: report, never unlink.
+
+    Returns one dict per artifact the reaper *would* remove —
+    ``{"path", "pid", "bytes", "age_seconds", "kind"}`` — covering dead
+    writers' temporaries and finished (``done``, dead-owner) stores.
+    Used by the bench CLI's ``--reap-dry-run``.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    now = time.time()
+    report: list[dict] = []
+
+    def add(path, pid: int) -> None:
+        try:
+            st = os.stat(path)
+        except OSError:
+            return
+        report.append(
+            {
+                "path": str(path),
+                "pid": pid,
+                "bytes": int(st.st_size),
+                "age_seconds": max(0.0, now - st.st_mtime),
+                "kind": "checkpoint",
+            }
+        )
+
+    dirs = [root] + [p for p in root.iterdir() if p.is_dir()]
+    for d in dirs:
+        try:
+            names = sorted(os.listdir(d))
+        except OSError:  # pragma: no cover - racing removal
+            continue
+        for fn in names:
+            if not fn.startswith(".tmp-"):
+                continue
+            parts = fn.split("-")
+            try:
+                pid = int(parts[1])
+            except (IndexError, ValueError):
+                continue
+            if not _pid_alive(pid):
+                add(d / fn, pid)
+        store = CheckpointStore(d)
+        manifests = store._manifests()
+        if not manifests:
+            continue
+        newest = None
+        for seq, path in sorted(manifests, reverse=True):
+            newest = store._decode(seq, path)
+            if newest is not None:
+                break
+        if newest is None or newest.phase != "done":
+            continue
+        try:
+            with open(d / f"snap-{newest.seq:08d}.json", "rb") as fh:
+                pid = int(json.load(fh).get("pid", -1))
+        except (OSError, ValueError, TypeError):  # pragma: no cover
+            continue
+        if _pid_alive(pid):
+            continue
+        for seq, _ in manifests:
+            for target in store._snapshot_paths(seq):
+                add(target, pid)
+    return report

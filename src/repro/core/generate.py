@@ -79,6 +79,7 @@ from repro.parallel.mp_backend import PipelineWorkerPool, available_workers
 from repro.parallel.rng import spawn_generators
 from repro.parallel.runtime import ParallelConfig, chunk_bounds
 from repro.parallel.shm import PipelineArena
+from repro.verify import IntegrityError, verify_graph
 
 __all__ = ["GenerationReport", "generate_graph", "generation_fingerprint"]
 
@@ -407,6 +408,12 @@ def _generate(
             except PoolFaultError as exc:
                 degraded = True
                 run_faults = list(exc.faults)
+            except IntegrityError:
+                # detected corruption inside the fused attempt: quarantine
+                # the arena and replay on the phased rung below (resuming
+                # from the newest validated snapshot when one exists)
+                degraded = True
+                run_faults = [faultinject.FaultEvent(-1, "integrity")]
             except OSError:
                 degraded = True
                 run_faults = [faultinject.FaultEvent(-1, "shm")]
@@ -490,6 +497,14 @@ def _generate(
     if cost.phases and cost.phases[-1].name == "edge_generation":
         cost.phases[-1].seconds = phase_seconds["edge_generation"]
     _sample_memory()
+    if config.verify != "off" and edges.m:
+        # phase-boundary check: endpoint bounds only — the edge-skip
+        # output's simplicity and the degree contract are the swap
+        # phase's invariants, asserted there
+        verify_graph(
+            edges.u, edges.v, dist.n, tier=config.verify,
+            check_loops=False, check_duplicates=False, label="edges",
+        )
     if store is not None and not resuming:
         store.save(
             "edges",
@@ -501,26 +516,52 @@ def _generate(
     t0 = time.perf_counter()
     swap_stats = SwapStats()
     with _maybe_span("phase:swap"):
-        out = swap_edges(
-            edges,
-            swap_iterations,
-            config,
-            stats=swap_stats,
+        swap_kwargs = dict(
             cost=cost,
             callback=callback,
             mixing_every=mixing_every,
             checkpoint_dir=store,
             checkpoint_every=checkpoint_every,
-            resume_from=(
-                resume_snap
-                if resume_snap is not None and resume_snap.phase == "swap"
-                else None
-            ),
             _fingerprint=fingerprint or None,
             # mid-swap snapshots bank cumulative spend: the prior runs'
             # plus this tail's earlier phases
             _timing_base=_merge_phase_seconds(prior_phase_seconds, phase_seconds),
         )
+        try:
+            out = swap_edges(
+                edges,
+                swap_iterations,
+                config,
+                stats=swap_stats,
+                resume_from=(
+                    resume_snap
+                    if resume_snap is not None and resume_snap.phase == "swap"
+                    else None
+                ),
+                **swap_kwargs,
+            )
+        except IntegrityError:
+            if store is None:
+                raise
+            # quarantine-and-repair: the whole attempt's in-memory state
+            # is suspect, but its durable snapshots were validated before
+            # being written (and are digest-checked at load) — replay
+            # once from the newest one.  A second detection propagates.
+            tr = obs_trace.current()
+            if tr is not None:
+                tr.event("integrity.swap_retry", fingerprint=fingerprint)
+                tr.metrics.inc("integrity.repairs")
+            degraded = True
+            run_faults = run_faults + [faultinject.FaultEvent(-1, "integrity")]
+            swap_stats = SwapStats()
+            out = swap_edges(
+                edges,
+                swap_iterations,
+                config,
+                stats=swap_stats,
+                resume_from=store,
+                **swap_kwargs,
+            )
     phase_seconds["swap"] = time.perf_counter() - t0
     _sample_memory()
     if gen_store is not None:
@@ -849,11 +890,18 @@ def _generate_fused(
             pool.bind_insert(table, tas_keys, tas_flags, spans)
             ckpt = None
             if store is not None and checkpoint_every:
+                ckpt_degrees = None
+                if config.verify != "off":
+                    ckpt_degrees = np.bincount(u, minlength=dist.n) + np.bincount(
+                        v, minlength=dist.n
+                    )
                 ckpt = _SwapCheckpointer(
                     store, checkpoint_every, fingerprint, swap_iterations,
                     timing_base=_merge_phase_seconds(
                         timing_base or {}, phase_seconds
                     ),
+                    verify=config.verify, n_vertices=dist.n,
+                    degrees=ckpt_degrees,
                 )
             u, v = fused_swap_loop(
                 u, v, swap_iterations, config, table, pool.test_and_set,

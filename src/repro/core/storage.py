@@ -41,7 +41,9 @@ import json
 import os
 import secrets
 import tempfile
+import time
 import weakref
+import zlib
 
 import numpy as np
 
@@ -53,10 +55,12 @@ __all__ = [
     "RamStore",
     "MmapStore",
     "ArrayAppender",
+    "ChunkGuard",
     "open_store",
     "select_store",
     "spill_dir",
     "reap_stale_spill",
+    "report_stale_spill",
     "create_spill_file",
     "copy_into",
     "permute_into",
@@ -217,6 +221,7 @@ class MmapStore(BackingStore):
         self._dir = directory or spill_dir()
         self._maps: dict[str, np.memmap] = {}
         self._paths: dict[str, str] = {}
+        self._digests: dict[str, list[int]] = {}
         self._manifest_path: str | None = None
         self._released = False
         _LIVE_STORES.add(self)
@@ -275,6 +280,8 @@ class MmapStore(BackingStore):
                     f"{SPILL_PREFIX}{os.getpid()}-{next(_MANIFEST_SEQ)}.json",
                 )
             payload = {"pid": os.getpid(), "files": list(self._paths.values())}
+            if self._digests:
+                payload["digests"] = self._digests
             with open(self._manifest_path, "w") as fh:
                 json.dump(payload, fh)
         except OSError:  # pragma: no cover - manifest is best-effort
@@ -285,6 +292,19 @@ class MmapStore(BackingStore):
             self, _unlink_files, dict(self._paths), self._manifest_path,
             os.getpid(),
         )
+
+    def set_digests(self, name: str, crcs: list[int]) -> None:
+        """Record ``name``'s per-window CRCs in the manifest (best-effort).
+
+        Written by :class:`ChunkGuard` at seal time so a post-mortem (or
+        the reaper's dry-run report) can tell an intact orphaned spill
+        file from a torn one.  Verification on the hot path reads the
+        guard's in-memory ledger, never the manifest.
+        """
+        if self._released:
+            return
+        self._digests[name] = [int(c) for c in crcs]
+        self._refresh_manifest()
 
     def release(self) -> None:
         """Unlink every spill file and the manifest; maps stay usable."""
@@ -390,6 +410,60 @@ class ArrayAppender:
         out = np.concatenate(self._chunks)
         self._chunks = []
         return out
+
+
+class ChunkGuard:
+    """Per-window CRC ledger for store-backed arrays.
+
+    Spill files sit on disk for whole swap phases; a bit that rots there
+    comes back through the next windowed read as a silently different
+    edge.  The guard seals an array after a phase writes it (one CRC-32
+    per ``window`` elements, computed windowed so nothing out-of-core is
+    ever fully resident) and checks it before the next phase trusts it,
+    raising :class:`repro.verify.ChecksumError` on the first divergent
+    window.  Sealed digests are mirrored into the owning
+    :class:`MmapStore`'s manifest for post-mortems; the hot-path check
+    reads only the in-memory ledger.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW, store: BackingStore | None = None) -> None:
+        self.window = max(int(window), 1)
+        self._crcs: dict[str, list[int]] = {}
+        self._store = store if isinstance(store, MmapStore) else None
+
+    def _window_crcs(self, arr: np.ndarray) -> list[int]:
+        flat = arr.reshape(-1)
+        return [
+            zlib.crc32(flat[lo : lo + self.window].tobytes()) & 0xFFFFFFFF
+            for lo in range(0, len(flat), self.window)
+        ]
+
+    def seal(self, name: str, arr: np.ndarray) -> None:
+        """Record ``arr``'s current per-window CRCs under ``name``."""
+        crcs = self._window_crcs(arr)
+        self._crcs[name] = crcs
+        if self._store is not None:
+            self._store.set_digests(name, crcs)
+
+    def check(self, name: str, arr: np.ndarray) -> None:
+        """Verify ``arr`` against its seal; no-op for unsealed names."""
+        want = self._crcs.get(name)
+        if want is None:
+            return
+        got = self._window_crcs(arr)
+        if got == want:
+            return
+        from repro.verify import ChecksumError
+
+        if len(got) != len(want):
+            detail = f"window count changed ({len(want)} -> {len(got)})"
+        else:
+            bad = next(i for i, (a, b) in enumerate(zip(want, got)) if a != b)
+            detail = (
+                f"window {bad} CRC mismatch "
+                f"(sealed {want[bad]:#010x}, read {got[bad]:#010x})"
+            )
+        raise ChecksumError(f"store-backed array {name!r} corrupt: {detail}")
 
 
 # -- windowed kernels ------------------------------------------------------
@@ -508,6 +582,74 @@ def reap_stale_spill(*, directory: str | None = None) -> list[str]:
         except OSError:  # pragma: no cover - racing reaper
             pass
     return removed
+
+
+def report_stale_spill(*, directory: str | None = None) -> list[dict]:
+    """Dry-run twin of :func:`reap_stale_spill`: report, never unlink.
+
+    Returns one dict per artifact the reaper *would* remove —
+    ``{"path", "pid", "bytes", "age_seconds", "kind"}`` — covering both
+    sweeps (manifest-listed files and pid-stamped ``.bin`` names).  Used
+    by the bench CLI's ``--reap-dry-run``.
+    """
+    try:
+        d = directory or spill_dir()
+    except OSError:  # pragma: no cover - unusable temp dir
+        return []
+    if not os.path.isdir(d):
+        return []
+    now = time.time()
+    seen: set[str] = set()
+    report: list[dict] = []
+
+    def add(path: str, pid: int) -> None:
+        if path in seen:
+            return
+        try:
+            st = os.stat(path)
+        except OSError:
+            return
+        seen.add(path)
+        report.append(
+            {
+                "path": path,
+                "pid": pid,
+                "bytes": int(st.st_size),
+                "age_seconds": max(0.0, now - st.st_mtime),
+                "kind": "spill",
+            }
+        )
+
+    names = sorted(os.listdir(d))
+    for fn in names:
+        if not (fn.startswith(SPILL_PREFIX) and fn.endswith(".json")):
+            continue
+        path = os.path.join(d, fn)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+            pid = int(data.get("pid", -1))
+            files = list(data.get("files", ()))
+        except (OSError, ValueError, TypeError):
+            continue
+        if _pid_alive(pid):
+            continue
+        for target in files:
+            if os.path.basename(target).startswith(SPILL_PREFIX):
+                add(target, pid)
+        add(path, pid)
+    for fn in names:
+        if not (fn.startswith(SPILL_PREFIX) and fn.endswith(".bin")):
+            continue
+        stem = fn[len(SPILL_PREFIX):]
+        try:
+            pid = int(stem.split("-", 1)[0])
+        except ValueError:
+            continue
+        if _pid_alive(pid):
+            continue
+        add(os.path.join(d, fn), pid)
+    return report
 
 
 class FileArray:

@@ -371,15 +371,26 @@ class _SwapCheckpointer:
     persists ``timing_base + {swap: elapsed-since-construction}`` so a
     later resume can report honest cumulative timings
     (see :class:`~repro.core.generate.GenerationReport`).
+
+    With ``verify != "off"`` every snapshot is validated *before* it is
+    written (bounds + degree preservation at cheap-tier cost — loops and
+    duplicates are legal mid-chain for multigraph inputs, so structural
+    simplicity is not asserted here).  A corrupt in-memory state then
+    raises instead of poisoning the durable history the repair paths
+    roll back to.
     """
 
     def __init__(self, store, every: int, fingerprint: str, total: int,
-                 *, timing_base: dict | None = None) -> None:
+                 *, timing_base: dict | None = None, verify: str = "off",
+                 n_vertices: int = 0, degrees=None) -> None:
         self.store = store
         self.every = max(int(every), 0)
         self.fingerprint = fingerprint
         self.total = int(total)
         self.timing_base = {k: float(s) for k, s in (timing_base or {}).items()}
+        self.verify = verify
+        self.n_vertices = int(n_vertices)
+        self.degrees = degrees
         self._t0 = time.perf_counter()
 
     def cumulative_phase_seconds(self) -> dict:
@@ -401,6 +412,14 @@ class _SwapCheckpointer:
             return
         if done % self.every and done != self.total:
             return
+        if self.verify != "off":
+            from repro.verify import verify_graph
+
+            verify_graph(
+                u, v, self.n_vertices, degrees=self.degrees, tier="cheap",
+                check_loops=False, check_duplicates=False,
+                label="checkpoint",
+            )
         self.store.save(
             "swap",
             swap_round=done,
@@ -424,7 +443,9 @@ def _swap_shm_estimate(m: int, config: ParallelConfig) -> int:
     """
     table = estimate_table_nbytes(2 * m + 16, config.shards or None, config.threads)
     exchange = m * 9  # int64 keys + uint8 verdict flags
-    journals = 256 * 1024 * max(1, int(config.threads))
+    # journals are CRC-framed (one frame word per record batch) and sized
+    # at 2x the key batch, hence the doubled per-worker allowance
+    journals = 512 * 1024 * max(1, int(config.threads))
     return int(table + exchange + journals)
 
 
@@ -555,9 +576,15 @@ def swap_edges(
                 base = resume_state.phase_seconds
             else:
                 base = None
+            ckpt_degrees = None
+            if config.verify != "off" and m:
+                ckpt_degrees = np.bincount(
+                    graph.u, minlength=graph.n
+                ) + np.bincount(graph.v, minlength=graph.n)
             ckpt = _SwapCheckpointer(
                 store, checkpoint_every, fingerprint, iterations,
-                timing_base=base,
+                timing_base=base, verify=config.verify,
+                n_vertices=graph.n, degrees=ckpt_degrees,
             )
 
     # Backend dispatch for the TestAndSet engine.  All three backends
@@ -576,6 +603,7 @@ def swap_edges(
     if config.backend == "process" and check_duplicates and m > 0:
         from repro.parallel import shm
         from repro.parallel.mp_backend import PoolFaultError
+        from repro.verify import IntegrityError
 
         faultinject.arm_from(config)
         fall_faults: list[FaultEvent] = []
@@ -592,6 +620,12 @@ def swap_edges(
                         )
                 except PoolFaultError as exc:
                     fall_faults = list(exc.faults)
+                except IntegrityError:
+                    # detected corruption (canary / CRC / invariant):
+                    # quarantine the shared-memory attempt and replay on
+                    # the bitwise-identical vectorized rung, resuming
+                    # from the last *validated* snapshot below
+                    fall_faults = [FaultEvent(-1, "integrity")]
                 except OSError:
                     fall_faults = [FaultEvent(-1, "shm")]
             else:
@@ -890,6 +924,31 @@ def _swap_loop(
     win = int(window) if window else DEFAULT_WINDOW
     pong: dict[str, np.ndarray] = {}  # spare twin per array name
 
+    # Integrity tier (repro.verify): record the target degree sequence
+    # and whether the *input* is already loop/duplicate-free — swaps
+    # preserve degrees unconditionally but can only destroy loops and
+    # duplicates, so structural simplicity is asserted on the output
+    # only when it held on the input.
+    tier = getattr(config, "verify", "off")
+    target_degrees = None
+    clean_loops = False
+    clean_dups = False
+    if tier != "off" and m:
+        target_degrees = np.bincount(u, minlength=n_vertices) + np.bincount(
+            v, minlength=n_vertices
+        )
+        clean_loops = check_loops and not bool((u == v).any())
+        if tier == "full" and check_duplicates:
+            k0 = np.sort(pack_edges(u, v))
+            clean_dups = not bool((k0[1:] == k0[:-1]).any())
+            del k0
+    guard = None
+    guard_sealed = False
+    if windowed and tier != "off":
+        from repro.core.storage import ChunkGuard
+
+        guard = ChunkGuard(window=win, store=store)
+
     def _permuted(name: str, arr: np.ndarray, order: np.ndarray) -> np.ndarray:
         if not windowed:
             return arr[order]
@@ -903,6 +962,15 @@ def _swap_loop(
     keys = None  # maintained pack_edges(u, v); built lazily at first use
     for it in range(start_iteration, iterations):
         t0 = time.perf_counter()
+        if guard is not None and guard_sealed:
+            # spill-resident rounds: re-verify the windows sealed at the
+            # end of the previous round before trusting their contents
+            faultinject.maybe_flip_array("spill", u)
+            guard.check("u", u)
+            guard.check("v", v)
+            guard.check("swapped", swapped)
+            if keys is not None:
+                guard.check("keys", keys)
         if it == 0 and preregistered:
             attempts_before = 0
             failures_before = 0
@@ -924,6 +992,21 @@ def _swap_loop(
                     else:
                         keys = pack_edges(u, v)
                 tas(keys)
+                faultinject.maybe_flip_array("table", table._slots)
+                if tier != "off":
+                    # immediately post-registration is the only point
+                    # where the table is exactly the current edge set
+                    # (failed proposals accrete stale keys later on)
+                    if hasattr(table, "check_canaries"):
+                        table.check_canaries()
+                    if tier == "full" and clean_dups:
+                        # clean_dups gates the multiset compare: a
+                        # multigraph input still being simplified
+                        # registers duplicate keys the table rightly
+                        # stores once
+                        from repro.verify import verify_table_registration
+
+                        verify_table_registration(table, keys)
 
         # Phase 2: parallel permutation of the edge list.
         perm_stats = PermutationStats()
@@ -1032,6 +1115,22 @@ def _swap_loop(
             callback(it, EdgeList(u.copy(), v.copy(), n_vertices))
         if checkpointer is not None:
             checkpointer.after_round(it, u, v, swapped, rng, stats)
+        if guard is not None:
+            guard.seal("u", u)
+            guard.seal("v", v)
+            guard.seal("swapped", swapped)
+            if keys is not None:
+                guard.seal("keys", keys)
+            guard_sealed = True
+
+    if tier != "off" and m:
+        from repro.verify import verify_graph
+
+        verify_graph(
+            u, v, n_vertices, degrees=target_degrees, tier=tier,
+            check_loops=clean_loops, check_duplicates=clean_dups,
+            label="swap",
+        )
 
     # swapped is returned because the permutation rebinds it (fancy
     # indexing copies): callers that re-enter the loop — the autotune

@@ -63,8 +63,12 @@ def _parse_int_table_lines(lines, n_columns: int, what: str, path) -> np.ndarray
 
 
 def _parse_int_table(path, n_columns: int, what: str) -> np.ndarray:
-    """File-backed wrapper of :func:`_parse_int_table_lines`."""
-    with open(path, encoding="utf-8", errors="replace") as fh:
+    """File-backed wrapper of :func:`_parse_int_table_lines`.
+
+    ``utf-8-sig`` so a byte-order mark (files saved by Windows editors)
+    is consumed instead of corrupting the first token.
+    """
+    with open(path, encoding="utf-8-sig", errors="replace") as fh:
         return _parse_int_table_lines(fh, n_columns, what, path)
 
 
@@ -79,7 +83,7 @@ def _is_int(token: str) -> bool:
 
 def _parse_header_n(path) -> int | None:
     """The ``n=<count>`` header value of a text edge list, if present."""
-    with open(path, encoding="utf-8", errors="replace") as fh:
+    with open(path, encoding="utf-8-sig", errors="replace") as fh:
         first = fh.readline()
     if not first.startswith("#") or "n=" not in first:
         return None
@@ -130,9 +134,12 @@ def parse_edge_list_text(text: str, *, path="<edge list>") -> EdgeList:
     ``# n=<count>`` header check), applied to a payload that never
     touched the filesystem — the serving broker validates request bodies
     with this at admission, so a malformed request is rejected with the
-    offending line number instead of poisoning a worker pool.
+    offending line number instead of poisoning a worker pool.  A leading
+    UTF-8 byte-order mark is consumed (clients that read a BOM-carrying
+    file and forward its bytes verbatim), mirroring the file loader's
+    ``utf-8-sig`` behaviour; line numbers are unaffected.
     """
-    lines = text.splitlines()
+    lines = text.lstrip("\ufeff").splitlines()
     n = None
     if lines and lines[0].startswith("#") and "n=" in lines[0]:
         rest = lines[0].split("n=")[1].split()

@@ -33,6 +33,16 @@ A *fault plan* is a comma-separated spec string, read from
     durable checkpoint write — the resume drill: the suite relaunches
     the run with ``resume`` and asserts the output is bitwise-identical
     to an uninterrupted run.
+``bitflip:table:0``
+    flip one bit of the named artifact at its 1st flip opportunity —
+    the bitrot drill for the integrity layer (see :mod:`repro.verify`).
+    Artifacts: ``table`` (shared hash-table slots), ``journal`` (replay
+    journal entries), ``spill`` (a spill-backed array window),
+    ``checkpoint`` (a durable snapshot payload), ``cache`` (a served
+    result's arrays).  The drill suite asserts every injected flip is
+    either repaired (output bitwise-equal to the fault-free run) or
+    surfaced as a typed ``IntegrityError`` — never a silently wrong
+    graph.
 
 Worker-targeted specs count *matching ops as observed by one worker
 process*, so a respawned worker re-observes its replayed batch at index
@@ -65,6 +75,12 @@ __all__ = [
     "arm_parent_faults",
     "disarm_parent_faults",
     "fire_parent",
+    "BITFLIP_ARTIFACTS",
+    "arm_bitflip_faults",
+    "disarm_bitflip_faults",
+    "consume_bitflip",
+    "maybe_flip_array",
+    "maybe_flip_file",
 ]
 
 #: Environment variable holding a fault-plan string.
@@ -75,6 +91,9 @@ WORKER_FAULT_KINDS = ("kill", "killmid", "hang", "error")
 
 #: Fault kinds executed inside the driver (parent) process.
 PARENT_FAULT_KINDS = ("parentkill",)
+
+#: Artifact classes a ``bitflip`` spec may target.
+BITFLIP_ARTIFACTS = ("table", "journal", "spill", "checkpoint", "cache")
 
 #: How long a ``hang`` fault sleeps.  Far beyond any sane batch deadline;
 #: the supervisor is expected to SIGKILL the worker long before this.
@@ -110,9 +129,17 @@ class FaultPlan:
     #: specs executed by the driver process itself (``parentkill``) —
     #: never shipped to workers, never disarmed by respawns
     parent_specs: tuple = ()
+    #: bitrot-injection specs (``bitflip``) — armed process-locally in
+    #: the driver, never shipped to workers, never disarmed by respawns
+    bitflip_specs: tuple = ()
 
     def __bool__(self) -> bool:
-        return bool(self.specs) or self.shm_failures > 0 or bool(self.parent_specs)
+        return (
+            bool(self.specs)
+            or self.shm_failures > 0
+            or bool(self.parent_specs)
+            or bool(self.bitflip_specs)
+        )
 
     def after_respawn(self, worker: int) -> "FaultPlan":
         """Disarm one firing of every spec targeting ``worker``.
@@ -130,7 +157,9 @@ class FaultPlan:
                     out.append(replace(s, times=s.times - 1))
             else:
                 out.append(s)
-        return FaultPlan(tuple(out), self.shm_failures, self.parent_specs)
+        return FaultPlan(
+            tuple(out), self.shm_failures, self.parent_specs, self.bitflip_specs
+        )
 
 
 def parse_plan(spec: str | None) -> FaultPlan | None:
@@ -139,6 +168,7 @@ def parse_plan(spec: str | None) -> FaultPlan | None:
         return None
     specs = []
     parent_specs = []
+    bitflip_specs = []
     shm = 0
     for token in spec.split(","):
         token = token.strip()
@@ -150,6 +180,30 @@ def parse_plan(spec: str | None) -> FaultPlan | None:
             if len(parts) != 2:
                 raise ValueError(f"malformed shm fault {token!r}; expected shm:N")
             shm += int(parts[1])
+            continue
+        if kind == "bitflip":
+            if len(parts) not in (3, 4):
+                raise ValueError(
+                    f"malformed bitflip fault {token!r}; expected "
+                    f"bitflip:artifact:index[:xT]"
+                )
+            artifact = parts[1]
+            if artifact not in BITFLIP_ARTIFACTS:
+                raise ValueError(
+                    f"unknown bitflip artifact {artifact!r}; expected one of "
+                    f"{BITFLIP_ARTIFACTS}"
+                )
+            index = int(parts[2])
+            if index < 0:
+                raise ValueError(f"fault index must be >= 0 in {token!r}")
+            times = 1
+            if len(parts) == 4:
+                if not parts[3].startswith("x"):
+                    raise ValueError(
+                        f"malformed repeat field {parts[3]!r} in {token!r}"
+                    )
+                times = int(parts[3][1:])
+            bitflip_specs.append(FaultSpec(kind, -1, artifact, index, times))
             continue
         if kind in PARENT_FAULT_KINDS:
             if len(parts) not in (3, 4):
@@ -192,7 +246,7 @@ def parse_plan(spec: str | None) -> FaultPlan | None:
                 raise ValueError(f"malformed repeat field {parts[4]!r} in {token!r}")
             times = int(parts[4][1:])
         specs.append(FaultSpec(kind, worker, op, index, times))
-    plan = FaultPlan(tuple(specs), shm, tuple(parent_specs))
+    plan = FaultPlan(tuple(specs), shm, tuple(parent_specs), tuple(bitflip_specs))
     return plan if plan else None
 
 
@@ -329,11 +383,12 @@ def disarm_shm_faults() -> None:
 
 
 def arm_from(config) -> None:
-    """Arm driver-local faults (shm counter, parent kills) from a plan."""
+    """Arm driver-local faults (shm counter, parent kills, bitrot)."""
     plan = plan_from(config)
     if plan is not None and plan.shm_failures:
         arm_shm_faults(plan.shm_failures)
     arm_parent_faults(plan)
+    arm_bitflip_faults(plan)
 
 
 def consume_shm_fault() -> bool:
@@ -343,3 +398,91 @@ def consume_shm_fault() -> bool:
         _shm_failures -= 1
         return True
     return False
+
+
+# -- driver-process bitrot injection ---------------------------------------
+#
+# bitflip specs drill the integrity layer: at the index-th flip
+# opportunity for an artifact class, one bit of that artifact is XORed
+# in place (or in file).  Firing state is process-local to the driver;
+# forked workers disarm it at startup.  Crucially the seen-counter keeps
+# advancing across repair attempts, so a consumed flip does not re-fire
+# on the degraded replay — which is exactly what lets the drill suite
+# assert the repaired output is bitwise-equal to the fault-free run.
+
+_bitflip_specs: tuple = ()
+_bitflip_seen: dict[str, int] = {}
+
+
+def arm_bitflip_faults(plan: "FaultPlan | None") -> None:
+    """Arm the bitrot specs of ``plan`` (idempotent for same plan).
+
+    Re-arming with an identical spec tuple keeps the opportunity
+    counters — the pipeline arms at every durable entry point, and a
+    reset mid-run would shift which opportunity the flip fires on.
+    """
+    global _bitflip_specs, _bitflip_seen
+    specs = plan.bitflip_specs if plan is not None else ()
+    if specs == _bitflip_specs:
+        return
+    _bitflip_specs = specs
+    _bitflip_seen = {}
+
+
+def disarm_bitflip_faults() -> None:
+    """Clear bitrot specs (workers call this at startup post-fork)."""
+    global _bitflip_specs, _bitflip_seen
+    _bitflip_specs = ()
+    _bitflip_seen = {}
+
+
+def consume_bitflip(artifact: str) -> bool:
+    """Count a flip opportunity for ``artifact``; True when one fires."""
+    if not _bitflip_specs:
+        return False
+    seen = _bitflip_seen.get(artifact, 0)
+    _bitflip_seen[artifact] = seen + 1
+    return any(
+        spec.kind == "bitflip" and spec.matches(-1, artifact, seen)
+        for spec in _bitflip_specs
+    )
+
+
+def maybe_flip_array(artifact: str, arr) -> bool:
+    """Flip one bit of ``arr``'s middle element if a spec fires now.
+
+    Deterministic by construction: same plan, same call sites, same
+    element, same bit.  Restores the ``writeable`` flag afterwards so
+    frozen (served) arrays can be corrupted in place by the drill.
+    """
+    if not consume_bitflip(artifact):
+        return False
+    if arr.size == 0:
+        return False
+    was_writeable = arr.flags.writeable
+    if not was_writeable:
+        arr.flags.writeable = True
+    try:
+        flat = arr.reshape(-1)
+        idx = len(flat) // 2
+        flat[idx] = flat[idx] ^ type(flat[idx])(1 << 17)
+    finally:
+        if not was_writeable:
+            arr.flags.writeable = False
+    return True
+
+
+def maybe_flip_file(artifact: str, path) -> bool:
+    """Flip one bit of the file's middle byte if a spec fires now."""
+    if not consume_bitflip(artifact):
+        return False
+    with open(path, "r+b") as fh:
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        if size == 0:
+            return False
+        fh.seek(size // 2)
+        byte = fh.read(1)[0]
+        fh.seek(size // 2)
+        fh.write(bytes([byte ^ 0x20]))
+    return True

@@ -25,6 +25,7 @@ that collisions are rare.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -47,6 +48,12 @@ __all__ = [
 
 #: Sentinel stored in empty slots.  Valid packed keys are non-negative.
 EMPTY_KEY = np.int64(-1)
+
+#: Guard word bracketing each shared table segment.  Positive (cannot be
+#: mistaken for ``EMPTY_KEY``), and no single bit flip of any other value
+#: this code writes produces it — an intact canary means no neighbor ran
+#: off the end of its mapping into this segment.
+_CANARY = np.int64(0x5AFEC0DE5AFEC0DE)
 
 _MAX_VERTEX = np.int64(2**32 - 1)
 
@@ -322,7 +329,9 @@ def estimate_table_nbytes(
     slots_per_shard = _next_pow2(max(16, -(-4 * max(int(capacity_hint), 1) // shards)))
     slots_bytes = shards * slots_per_shard * np.dtype(np.int64).itemsize
     stats_bytes = shards * len(SHARD_STAT_COLUMNS) * np.dtype(np.int64).itemsize
-    return int(slots_bytes + stats_bytes)
+    # two canary guard words bracket each of the two segments
+    canary_bytes = 4 * np.dtype(np.int64).itemsize
+    return int(slots_bytes + stats_bytes + canary_bytes)
 
 
 def shard_of_keys(keys: np.ndarray, n_shards: int) -> np.ndarray:
@@ -370,7 +379,7 @@ class ShardedEdgeHashTable:
         _attach: tuple | None = None,
     ) -> None:
         if _attach is not None:
-            slots_desc, stats_desc, probing = _attach
+            slots_desc, stats_desc, probing, n_shards = _attach
             self.probing = probing
             self._shm_slots = SharedArray.attach(slots_desc)
             self._shm_stats = SharedArray.attach(stats_desc)
@@ -402,16 +411,22 @@ class ShardedEdgeHashTable:
                 segment_cls = FileArray
             else:
                 segment_cls = SharedArray
-            self._shm_slots = segment_cls((n_shards, slots_per_shard), np.int64)
+            # flat allocation with one canary guard word at each end; the
+            # 2-D shard geometry is an interior view (see below)
+            self._shm_slots = segment_cls((n_shards * slots_per_shard + 2,), np.int64)
             self._shm_slots.array.fill(EMPTY_KEY)
+            self._shm_slots.array[0] = _CANARY
+            self._shm_slots.array[-1] = _CANARY
             try:
                 self._shm_stats = segment_cls(
-                    (n_shards, len(SHARD_STAT_COLUMNS)), np.int64
+                    (n_shards * len(SHARD_STAT_COLUMNS) + 2,), np.int64
                 )
             except BaseException:
                 self._shm_slots.close()
                 raise
             self._shm_stats.array.fill(0)
+            self._shm_stats.array[0] = _CANARY
+            self._shm_stats.array[-1] = _CANARY
             self._owner = True
             if arena is not None:
                 # pipeline-arena lifecycle: the arena's close() also
@@ -419,9 +434,12 @@ class ShardedEdgeHashTable:
                 # idempotent, so table.close() remains safe either way)
                 arena.adopt("table_slots", self._shm_slots)
                 arena.adopt("table_stats", self._shm_stats)
-        self._slots = self._shm_slots.array
-        self._stats = self._shm_stats.array
-        self.n_shards = int(self._slots.shape[0])
+        self.n_shards = int(n_shards)
+        # interior views skip the canary words bracketing each segment
+        self._slots = self._shm_slots.array[1:-1].reshape(self.n_shards, -1)
+        self._stats = self._shm_stats.array[1:-1].reshape(
+            self.n_shards, len(SHARD_STAT_COLUMNS)
+        )
         self._shard_mask = np.uint64(self.n_shards - 1)
         self._shard_bits = int(self.n_shards - 1).bit_length()
         self._slot_mask = np.uint64(self._slots.shape[1] - 1)
@@ -434,9 +452,19 @@ class ShardedEdgeHashTable:
 
     # -- lifecycle -------------------------------------------------------
 
-    def descriptor(self) -> tuple[ShmDescriptor, ShmDescriptor, str]:
-        """Picklable handle workers use to :meth:`attach`."""
-        return (self._shm_slots.descriptor, self._shm_stats.descriptor, self.probing)
+    def descriptor(self) -> tuple[ShmDescriptor, ShmDescriptor, str, int]:
+        """Picklable handle workers use to :meth:`attach`.
+
+        Carries the shard count explicitly: the segments are flat
+        (canary-bracketed), so the 2-D geometry is not recoverable from
+        the mapped shape alone.
+        """
+        return (
+            self._shm_slots.descriptor,
+            self._shm_stats.descriptor,
+            self.probing,
+            self.n_shards,
+        )
 
     @classmethod
     def attach(cls, descriptor) -> "ShardedEdgeHashTable":
@@ -455,6 +483,27 @@ class ShardedEdgeHashTable:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def check_canaries(self) -> None:
+        """O(1) integrity probe: assert both segments' guard words.
+
+        A clobbered guard word is evidence that some process wrote past
+        the end of a neighboring mapping into this table's segment —
+        slot contents can no longer be trusted.  Raises
+        :class:`repro.verify.CanaryError`.
+        """
+        for label, flat in (
+            ("table_slots", self._shm_slots.array),
+            ("table_stats", self._shm_stats.array),
+        ):
+            if flat[0] != _CANARY or flat[-1] != _CANARY:
+                from repro.verify import CanaryError
+
+                raise CanaryError(
+                    f"canary word clobbered on shared segment {label!r} "
+                    f"(head={int(flat[0]):#x}, tail={int(flat[-1]):#x}) — "
+                    "out-of-bounds write detected"
+                )
 
     def set_journal(self, journal: "ShardJournal | None") -> None:
         """Route slot claims through a write-ahead journal (worker side).
@@ -673,7 +722,8 @@ class ShardJournal:
         [2]  n_shards
         [3]  last_seq  sequence number of the last committed batch
         [4 : 4 + 6*n_shards]        stats snapshot at batch start
-        [4 + 6*n_shards : ]         entries, packed (shard << 32) | slot
+        [4 + 6*n_shards : ]         entries, packed (shard << 32) | slot,
+                                    framed by CRC words (see below)
 
     Entry writes land before the count bump, and the count bump before the
     table's slot writes, so a kill at *any* instruction leaves a journal
@@ -682,6 +732,17 @@ class ShardJournal:
     *committed but whose reply died with the worker* (must **not** be
     replayed — TestAndSet is not idempotent) from one that never
     finished (rollback, then replay).
+
+    Each :meth:`record` call additionally appends one *frame* word —
+    bit 63 set (negative, so it can never collide with a packed entry,
+    which is non-negative) carrying the chained CRC-32 of every packed
+    entry written this batch.  :meth:`rollback` verifies the chain frame
+    by frame: a torn or bit-flipped journal region rolls back only its
+    verified prefix and raises :class:`repro.verify.ChecksumError`
+    instead of replaying garbage slots into the shared table.  Because
+    entries+frame land before the count bump, kill-only faults always
+    leave a journal whose visible region is whole frames — a failed CRC
+    means *data* corruption, not a crash artifact.
     """
 
     def __init__(
@@ -707,6 +768,8 @@ class ShardJournal:
         self._stats_lo = _J_HEADER
         self._stats_hi = _J_HEADER + n_cols * self.n_shards
         self.capacity = int(len(buf) - self._stats_hi)
+        # chained CRC-32 over this batch's packed entries (writer-local)
+        self._crc = 0
 
     @property
     def descriptor(self) -> ShmDescriptor:
@@ -734,22 +797,29 @@ class ShardJournal:
         buf[_J_COUNT] = 0
         buf[self._stats_lo : self._stats_hi] = table._stats.reshape(-1)
         buf[_J_STATE] = 1
+        self._crc = 0
 
     def record(self, shard: int, slots: np.ndarray) -> None:
-        """Journal claimed ``slots`` of ``shard`` (called pre-write)."""
+        """Journal claimed ``slots`` of ``shard`` (called pre-write).
+
+        Appends the packed entries plus one CRC frame word; see the
+        class docstring for the framing scheme.
+        """
         buf = self._buf
         if not buf[_J_STATE] or not len(slots):
             return
         count = int(buf[_J_COUNT])
-        if count + len(slots) > self.capacity:
+        if count + len(slots) + 1 > self.capacity:
             raise RuntimeError(
-                f"shard journal overflow ({count + len(slots)} > {self.capacity})"
+                f"shard journal overflow ({count + len(slots) + 1} > {self.capacity})"
             )
+        packed = (np.int64(shard) << np.int64(32)) | slots.astype(np.int64)
+        self._crc = zlib.crc32(np.ascontiguousarray(packed).tobytes(), self._crc)
         lo = self._stats_hi + count
-        buf[lo : lo + len(slots)] = (np.int64(shard) << np.int64(32)) | slots.astype(
-            np.int64
-        )
-        buf[_J_COUNT] = count + len(slots)
+        buf[lo : lo + len(packed)] = packed
+        # frame word: bit 63 marks it; low bits carry the chained CRC
+        buf[lo + len(packed)] = np.int64(self._crc - 2**63)
+        buf[_J_COUNT] = count + len(packed) + 1
 
     def commit(self, seq: int = 0) -> None:
         """Close the batch: its inserts are now permanent.
@@ -770,16 +840,45 @@ class ShardJournal:
         snapshot — pass the dead worker's owned shards when other workers
         are live (their rows have since advanced legitimately); ``None``
         restores every row (safe only with no concurrent writers).
+
+        Verifies the CRC frame chain before trusting any entry.  On a
+        mismatch the *verified prefix* is rolled back (those entries are
+        provably intact), the flag drops, and
+        :class:`repro.verify.ChecksumError` is raised — the garbled
+        suffix is quarantined rather than replayed into the table.
         """
         buf = self._buf
         if not buf[_J_STATE]:
             return False
         count = int(buf[_J_COUNT])
+        bad: str | None = None
+        verified_hi = 0
         if count:
             entries = buf[self._stats_hi : self._stats_hi + count]
-            e_shards = (entries >> np.int64(32)).astype(np.int64)
-            e_slots = (entries & np.int64(0xFFFFFFFF)).astype(np.int64)
-            table._slots[e_shards, e_slots] = EMPTY_KEY
+            frames = np.flatnonzero(entries < 0)
+            crc = 0
+            for f in frames:
+                seg = entries[verified_hi : int(f)]
+                crc = zlib.crc32(np.ascontiguousarray(seg).tobytes(), crc)
+                stored = int(entries[int(f)]) + 2**63
+                if stored != crc:
+                    bad = (
+                        f"journal frame at entry {int(f)} fails CRC "
+                        f"(stored {stored:#010x}, computed {crc:#010x})"
+                    )
+                    break
+                verified_hi = int(f) + 1
+            if bad is None and verified_hi != count:
+                bad = (
+                    f"journal tail of {count - verified_hi} entr(ies) has no "
+                    "closing CRC frame"
+                )
+            good = entries[:verified_hi]
+            packed = good[good >= 0]
+            if len(packed):
+                e_shards = (packed >> np.int64(32)).astype(np.int64)
+                e_slots = (packed & np.int64(0xFFFFFFFF)).astype(np.int64)
+                table._slots[e_shards, e_slots] = EMPTY_KEY
         n_cols = len(SHARD_STAT_COLUMNS)
         snap = buf[self._stats_lo : self._stats_hi].reshape(self.n_shards, n_cols)
         if shards is None:
@@ -790,6 +889,10 @@ class ShardJournal:
                 table._stats[idx, :] = snap[idx, :]
         buf[_J_STATE] = 0
         buf[_J_COUNT] = 0
+        if bad is not None:
+            from repro.verify import ChecksumError
+
+            raise ChecksumError(f"shard journal corrupt: {bad}")
         return True
 
     def close(self) -> None:

@@ -75,10 +75,11 @@ import numpy as np
 from repro.obs import trace as obs_trace
 from repro.parallel import faultinject
 from repro.parallel.faultinject import FaultEvent
-from repro.parallel.hashtable import ShardedEdgeHashTable, ShardJournal
+from repro.parallel.hashtable import _J_COUNT, ShardedEdgeHashTable, ShardJournal
 from repro.parallel.rng import spawn_generators
 from repro.parallel.runtime import ParallelConfig, chunk_bounds, get_executor
 from repro.parallel.shm import SharedArray, reap_stale
+from repro.verify import IntegrityError
 
 __all__ = [
     "process_chunk_map",
@@ -260,6 +261,7 @@ def _pipeline_worker(
     """
     faultinject.disarm_shm_faults()
     faultinject.disarm_parent_faults()
+    faultinject.disarm_bitflip_faults()
     # sever any RunTrace inherited over fork: emission is parent-side
     # only (a worker writing the shared JSONL handle would corrupt it)
     obs_trace.reset_for_worker()
@@ -495,7 +497,10 @@ class PipelineWorkerPool:
         self._table = table
         self._keys_buf = keys_buf
         self._flags_buf = flags_buf
-        capacity = max(len(keys_buf.array), int(journal_capacity or 0))
+        # 2x: each record() call appends its packed entries plus one CRC
+        # frame word, and in the worst case every record carries a single
+        # slot — entries + frames never exceed twice the key count
+        capacity = 2 * max(len(keys_buf.array), int(journal_capacity or 0))
         self._journals = [
             ShardJournal(table.n_shards, capacity)
             for _ in range(self.n_workers)
@@ -587,6 +592,37 @@ class PipelineWorkerPool:
             raise RuntimeError(f"pipeline worker failure:\n{detail}")
         return replies
 
+    def _rollback_journal(self, w: int, op, tr) -> None:
+        """Roll back worker ``w``'s uncommitted batch, bitrot-checked.
+
+        The ``bitflip:journal`` drill hook fires here — the one moment
+        the journal's entries are about to be trusted.  Rollback itself
+        verifies the CRC frame chain; a corrupt journal means the shared
+        table can no longer be restored to a known state, so the pool is
+        torn down and the typed error propagates (the caller degrades to
+        the bitwise-identical vectorized rung and replays from the last
+        validated checkpoint).
+        """
+        if not self._journals or self._table is None:
+            return
+        j = self._journals[w]
+        count = int(j._buf[_J_COUNT])
+        if count:
+            faultinject.maybe_flip_array(
+                "journal", j._buf[j._stats_hi : j._stats_hi + count]
+            )
+        try:
+            rolled = j.rollback(self._table, self._owned_shards(w))
+        except IntegrityError as exc:
+            if tr is not None:
+                tr.event("pool.journal_corrupt", worker=w, op=op, error=str(exc))
+                tr.metrics.inc("integrity.journal_corrupt")
+            self.close()
+            raise
+        if tr is not None and rolled:
+            tr.event("pool.journal_rollback", worker=w, op=op)
+            tr.metrics.inc("pool.journal_rollbacks")
+
     def _recover(
         self, w: int, kind: str, pending: dict[int, deque], n_jobs: int, drain
     ) -> None:
@@ -624,11 +660,7 @@ class PipelineWorkerPool:
             self.faults.append(event)
             # undo the half-applied batch so shared state stays coherent
             # for whoever inspects it post-mortem
-            if self._journals and self._table is not None:
-                rolled = self._journals[w].rollback(self._table, self._owned_shards(w))
-                if tr is not None and rolled:
-                    tr.event("pool.journal_rollback", worker=w, op=op)
-                    tr.metrics.inc("pool.journal_rollbacks")
+            self._rollback_journal(w, op, tr)
             if tr is not None:
                 tr.event(
                     "pool.budget_exhausted", worker=w, kind=kind, op=op,
@@ -648,11 +680,7 @@ class PipelineWorkerPool:
         self.faults.append(FaultEvent(w, kind, op=op, restart=self._restarts))
         # roll this worker's shards back to their pre-batch state; other
         # workers' shards are untouched (single-writer ownership)
-        if self._journals and self._table is not None:
-            rolled = self._journals[w].rollback(self._table, self._owned_shards(w))
-            if tr is not None and rolled:
-                tr.event("pool.journal_rollback", worker=w, op=op)
-                tr.metrics.inc("pool.journal_rollbacks")
+        self._rollback_journal(w, op, tr)
         if self._plan is not None:
             # the spec that downed this incarnation has fired; disarm it
             # so the respawn (whose op counters restart at zero) doesn't

@@ -117,6 +117,14 @@ class ParallelConfig:
         budget drives the ``"auto"`` store choice, the windowed-swap
         window size, and hash-table spill (see
         :func:`repro.parallel.autotune.plan_storage`).
+    verify:
+        Integrity-verification tier (see :mod:`repro.verify`): ``"off"``
+        (default; no added checks), ``"cheap"`` (O(m) invariant checks at
+        phase boundaries, canary words, spill-window CRCs), or ``"full"``
+        (additionally proves simplicity via sorted packed keys and
+        table-vs-edge-array consistency after every registration).
+        Verification never changes outputs — it only detects corruption
+        and triggers the typed quarantine/repair paths.
     """
 
     threads: int = 16
@@ -131,6 +139,7 @@ class ParallelConfig:
     autotune: bool = False
     store: str = "auto"
     memory_budget_bytes: int = 0
+    verify: str = "off"
 
     def __post_init__(self) -> None:
         if self.threads < 1:
@@ -160,6 +169,12 @@ class ParallelConfig:
         if self.memory_budget_bytes < 0:
             raise ValueError(
                 f"memory_budget_bytes must be >= 0, got {self.memory_budget_bytes}"
+            )
+        # literal tuple rather than repro.verify's VERIFY_TIERS: this
+        # module must stay importable without the verification layer
+        if self.verify not in ("off", "cheap", "full"):
+            raise ValueError(
+                f"verify must be one of ('off', 'cheap', 'full'), got {self.verify!r}"
             )
 
     def generator(self) -> np.random.Generator:

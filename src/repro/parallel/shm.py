@@ -38,6 +38,7 @@ import logging
 import os
 import secrets
 import tempfile
+import time
 import weakref
 from dataclasses import dataclass
 
@@ -61,6 +62,7 @@ __all__ = [
     "PipelineArena",
     "HAVE_SHM",
     "reap_stale",
+    "report_stale",
     "ShmCapacityError",
     "shm_free_bytes",
     "ensure_shm_capacity",
@@ -526,3 +528,84 @@ def reap_stale(*, manifest_dir: str | None = None) -> list[str]:
     except Exception:  # pragma: no cover - spill reaping is best-effort
         pass
     return reaped
+
+
+def report_stale(*, manifest_dir: str | None = None) -> list[dict]:
+    """Dry-run twin of :func:`reap_stale`: report, never unlink.
+
+    Returns one dict per artifact the reaper *would* remove —
+    ``{"path", "pid", "bytes", "age_seconds", "kind"}`` — covering all
+    three sweeps (arena manifests, ``/dev/shm`` name scan, spill files).
+    Used by the bench CLI's ``--reap-dry-run``.
+    """
+    if not HAVE_SHM:
+        return []
+    now = time.time()
+    seen: set[str] = set()
+    report: list[dict] = []
+
+    def add(path: str, pid: int, kind: str) -> None:
+        if path in seen:
+            return
+        try:
+            st = os.stat(path)
+        except OSError:
+            return
+        seen.add(path)
+        report.append(
+            {
+                "path": path,
+                "pid": pid,
+                "bytes": int(st.st_size),
+                "age_seconds": max(0.0, now - st.st_mtime),
+                "kind": kind,
+            }
+        )
+
+    shm_root = "/dev/shm"
+    try:
+        mdir = manifest_dir or _manifest_dir()
+    except OSError:  # pragma: no cover - unusable temp dir
+        mdir = None
+    if mdir and os.path.isdir(mdir):
+        for fn in sorted(os.listdir(mdir)):
+            if not (fn.startswith("repro-shm-") and fn.endswith(".json")):
+                continue
+            path = os.path.join(mdir, fn)
+            try:
+                with open(path) as fh:
+                    data = json.load(fh)
+                pid = int(data.get("pid", -1))
+                segments = list(data.get("segments", ()))
+                files = list(data.get("files", ()))
+            except (OSError, ValueError, TypeError):
+                continue
+            if _pid_alive(pid):
+                continue
+            for name in segments:
+                if name.startswith(SEGMENT_PREFIX):
+                    add(os.path.join(shm_root, name), pid, "shm")
+            for target in files:
+                if os.path.basename(target).startswith("repro-spill-"):
+                    add(target, pid, "spill")
+            add(path, pid, "manifest")
+    if os.path.isdir(shm_root):
+        for fn in sorted(os.listdir(shm_root)):
+            if not fn.startswith(SEGMENT_PREFIX):
+                continue
+            parts = fn.split("_")
+            try:
+                pid = int(parts[1])
+            except (IndexError, ValueError):
+                continue
+            if _pid_alive(pid):
+                continue
+            add(os.path.join(shm_root, fn), pid, "shm")
+    try:
+        from repro.core.storage import report_stale_spill
+
+        for entry in report_stale_spill():
+            add(entry["path"], entry["pid"], entry["kind"])
+    except Exception:  # pragma: no cover - spill reporting is best-effort
+        pass
+    return report

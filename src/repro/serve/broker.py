@@ -80,6 +80,7 @@ from repro.serve.jobs import (
     ShedError,
     admit,
 )
+from repro.verify import IntegrityError
 
 __all__ = ["ServeConfig", "CircuitBreaker", "Broker", "PENDING_JOBS_FILE"]
 
@@ -99,10 +100,13 @@ PENDING_JOBS_FILE = "pending-jobs.json"
 LADDER = ("fused", "phased", "vectorized")
 
 #: attempt errors worth retrying: pool supervision gave up, the OS took
-#: away shared memory / file descriptors, or an allocation failed —
-#: all plausibly transient on a loaded host.  Admission and deadline
+#: away shared memory / file descriptors, an allocation failed, or a
+#: verification tier detected corruption the pipeline's own repair
+#: ladder could not absorb — all plausibly transient on a loaded host,
+#: and a clean re-run *is* the repair for detected corruption (every
+#: execution path reproduces the same bits).  Admission and deadline
 #: errors are never retried.
-RETRYABLE = (PoolFaultError, OSError, MemoryError)
+RETRYABLE = (PoolFaultError, OSError, MemoryError, IntegrityError)
 
 
 @dataclass(frozen=True)
@@ -397,6 +401,8 @@ class Broker:
             raise ShedError("broker is draining", cause="draining",
                             checkpointed=False)
         cfg = replace(self.config.parallel, seed=spec.seed)
+        if spec.verify is not None:
+            cfg = replace(cfg, verify=spec.verify)
         try:
             job = admit(spec, cfg)
         except AdmissionError:
@@ -522,6 +528,8 @@ class Broker:
         job = inf.job
         spec = job.spec
         cfg = replace(self.config.parallel, seed=spec.seed)
+        if spec.verify is not None:
+            cfg = replace(cfg, verify=spec.verify)
         budget = (
             spec.max_retries if spec.max_retries is not None
             else self.config.max_retries

@@ -14,6 +14,15 @@ a long-lived server must not grow without bound (the same discipline
 the obs ring and the JSONL rotation apply to telemetry).  Cached arrays
 are frozen (``writeable=False``); callers that want to mutate a served
 graph copy it first.
+
+Every entry carries an always-on content digest (chained CRC-32 over
+both endpoint arrays, stamped at insert) in the same spirit as the
+checkpoint SHA-256: a hit whose payload no longer matches — bitrot in a
+long-lived server's heap, or a buggy consumer that unfroze and mutated
+the shared arrays — is *evicted* instead of served, the lookup reports
+a miss, and the broker's single-flight path recomputes the result from
+scratch (bitwise-identical by the reproducibility contract, so the
+eviction is invisible to callers beyond latency).
 """
 
 from __future__ import annotations
@@ -38,6 +47,8 @@ class CachedResult:
     n: int
     #: producing-run stats (edges, attempts, run_seconds, rung, …)
     stats: dict = field(default_factory=dict)
+    #: content digest over ``u`` then ``v`` (stamped at construction)
+    digest: int = 0
 
     def __post_init__(self) -> None:
         self.u = np.ascontiguousarray(self.u, dtype=np.int64)
@@ -45,6 +56,16 @@ class CachedResult:
         self.u.setflags(write=False)
         self.v.setflags(write=False)
         self.n = int(self.n)
+        self.digest = self._payload_digest()
+
+    def _payload_digest(self) -> int:
+        from repro.verify import chained_crc
+
+        return chained_crc(self.v, chained_crc(self.u))
+
+    def payload_intact(self) -> bool:
+        """Whether the arrays still hash to the insert-time digest."""
+        return self._payload_digest() == self.digest
 
     @property
     def nbytes(self) -> int:
@@ -72,6 +93,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corrupt_evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -81,10 +103,33 @@ class ResultCache:
         return self._bytes
 
     def get(self, fingerprint: str) -> CachedResult | None:
-        """The cached result for ``fingerprint``, refreshed to most-recent."""
+        """The cached result for ``fingerprint``, refreshed to most-recent.
+
+        A hit is digest-verified before it is served; a corrupt entry is
+        evicted, counted in ``corrupt_evictions``, and reported as a
+        miss so the caller recomputes instead of serving garbage.
+        """
         entry = self._entries.get(fingerprint)
         if entry is None:
             self.misses += 1
+            return None
+        from repro.parallel import faultinject
+
+        faultinject.maybe_flip_array("cache", entry.u)
+        if not entry.payload_intact():
+            del self._entries[fingerprint]
+            self._bytes -= entry.nbytes
+            self.corrupt_evictions += 1
+            self.misses += 1
+            from repro.obs import trace as obs_trace
+
+            tr = obs_trace.current()
+            if tr is not None:
+                tr.event(
+                    "cache.corrupt_evict", fingerprint=fingerprint,
+                    nbytes=entry.nbytes,
+                )
+                tr.metrics.inc("integrity.cache_evictions")
             return None
         self._entries.move_to_end(fingerprint)
         self.hits += 1
@@ -125,4 +170,5 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "corrupt_evictions": self.corrupt_evictions,
         }

@@ -168,6 +168,12 @@ class JobSpec:
     priority: str = "normal"
     deadline: float | None = None  #: seconds; None = broker default
     max_retries: int | None = None  #: None = broker default
+    #: integrity tier for this job's run ("off"/"cheap"/"full"); None =
+    #: the broker config's tier.  Verification never changes the output
+    #: bits — it only detects when they are wrong — so the tier is a
+    #: scheduling parameter, deliberately outside the fingerprint: a
+    #: verified run and an unverified one share a cache entry.
+    verify: str | None = None
 
     def __post_init__(self) -> None:
         self.degrees = tuple(int(d) for d in self.degrees)
@@ -322,6 +328,11 @@ def admit(spec: JobSpec, config) -> Job:
         spec.max_retries is None
         or (isinstance(spec.max_retries, int) and spec.max_retries >= 0),
         f"max_retries must be a non-negative int or None, got {spec.max_retries!r}",
+    )
+    _require(
+        spec.verify in (None, "off", "cheap", "full"),
+        f"verify must be one of ('off', 'cheap', 'full') or None, "
+        f"got {spec.verify!r}",
     )
     if spec.kind == "generate":
         dist = _admit_generate(spec)

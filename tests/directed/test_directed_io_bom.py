@@ -1,0 +1,44 @@
+"""BOM and CRLF tolerance in the directed loaders.
+
+The directed text parsers share :mod:`repro.graph.io`'s low-level
+table reader, so they inherit the same Windows-file tolerances — these
+tests pin that inheritance down rather than re-prove the mechanism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.directed.io import load_arc_list, load_bidegree_distribution
+from repro.graph.edgelist import EdgeListFormatError
+
+BOM = "\ufeff"
+
+
+class TestDirectedBom:
+    def test_arc_list_with_bom_and_crlf(self, tmp_path):
+        path = tmp_path / "arcs.txt"
+        path.write_bytes((BOM + "# directed n=4\r\n0 1\r\n2 3\n").encode("utf-8"))
+        g = load_arc_list(path)
+        assert g.n == 4
+        assert g.m == 2
+        np.testing.assert_array_equal(g.u, [0, 2])
+
+    def test_bidegree_with_bom(self, tmp_path):
+        path = tmp_path / "deg.txt"
+        path.write_bytes((BOM + "1 1 2\r\n2 2 1\n").encode("utf-8"))
+        dist = load_bidegree_distribution(path)
+        assert dist.n == 3
+
+    def test_line_numbers_survive_bom_and_crlf(self, tmp_path):
+        path = tmp_path / "arcs.txt"
+        path.write_bytes((BOM + "0 1\r\n1 2\r\noops\r\n").encode("utf-8"))
+        with pytest.raises(EdgeListFormatError) as exc:
+            load_arc_list(path)
+        assert exc.value.line == 3
+
+    def test_bidegree_bad_line_number(self, tmp_path):
+        path = tmp_path / "deg.txt"
+        path.write_bytes((BOM + "1 1 2\r\n2 two 1\r\n").encode("utf-8"))
+        with pytest.raises(EdgeListFormatError) as exc:
+            load_bidegree_distribution(path)
+        assert exc.value.line == 2

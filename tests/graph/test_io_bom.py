@@ -1,0 +1,92 @@
+"""Byte-order marks and mixed line endings in text edge lists.
+
+Files saved by Windows editors arrive with a UTF-8 BOM and CRLF
+endings (sometimes mixed with LF after hand edits).  The loaders must
+consume both without corrupting the first token — and, crucially,
+without shifting the 1-based line numbers that
+:class:`EdgeListFormatError` reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.edgelist import EdgeListFormatError
+from repro.graph.io import (
+    load_degree_distribution,
+    load_edge_list,
+    parse_edge_list_text,
+)
+
+BOM = "\ufeff"
+
+
+class TestBomFiles:
+    def test_edge_list_with_bom(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_bytes((BOM + "0 1\n1 2\n2 0\n").encode("utf-8"))
+        g = load_edge_list(path)
+        assert g.m == 3
+        np.testing.assert_array_equal(g.u, [0, 1, 2])
+
+    def test_bom_before_header(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_bytes((BOM + "# n=9 m=2\n0 1\n1 2\n").encode("utf-8"))
+        g = load_edge_list(path)
+        assert g.n == 9
+        assert g.m == 2
+
+    def test_degree_distribution_with_bom(self, tmp_path):
+        path = tmp_path / "d.txt"
+        path.write_bytes((BOM + "1 4\n2 2\n").encode("utf-8"))
+        dist = load_degree_distribution(path)
+        assert dist.n == 6
+
+    def test_mixed_crlf_lf(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_bytes(b"0 1\r\n1 2\n2 3\r\n3 0\n")
+        g = load_edge_list(path)
+        assert g.m == 4
+        np.testing.assert_array_equal(g.v, [1, 2, 3, 0])
+
+    def test_bom_and_crlf_together(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_bytes((BOM + "# n=5\r\n0 1\r\n1 2\n").encode("utf-8"))
+        g = load_edge_list(path)
+        assert g.n == 5
+        assert g.m == 2
+
+    def test_line_numbers_survive_bom_and_crlf(self, tmp_path):
+        """A malformed line 3 reports line 3, BOM and CRLF notwithstanding."""
+        path = tmp_path / "g.txt"
+        path.write_bytes((BOM + "0 1\r\n1 2\r\nbad row here\r\n").encode("utf-8"))
+        with pytest.raises(EdgeListFormatError) as exc:
+            load_edge_list(path)
+        assert exc.value.line == 3
+        assert "3" in str(exc.value)
+
+    def test_non_integer_first_token_is_not_bom_artifact(self, tmp_path):
+        """Without BOM handling the first token would parse as '\\ufeff0'."""
+        path = tmp_path / "g.txt"
+        path.write_bytes((BOM + "0 1\n").encode("utf-8"))
+        g = load_edge_list(path)
+        assert int(g.u[0]) == 0
+
+
+class TestBomInMemory:
+    def test_parse_text_with_bom(self):
+        g = parse_edge_list_text(BOM + "0 1\n1 2\n")
+        assert g.m == 2
+
+    def test_parse_text_bom_header(self):
+        g = parse_edge_list_text(BOM + "# n=7\n0 1\n")
+        assert g.n == 7
+
+    def test_parse_text_mixed_endings_line_numbers(self):
+        with pytest.raises(EdgeListFormatError) as exc:
+            parse_edge_list_text(BOM + "0 1\r\n1 2\nx y\r\n")
+        assert exc.value.line == 3
+
+    def test_parse_text_malformed_header_is_line_one(self):
+        with pytest.raises(EdgeListFormatError) as exc:
+            parse_edge_list_text(BOM + "# n=lots\n0 1\n")
+        assert exc.value.line == 1

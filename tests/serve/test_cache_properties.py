@@ -1,0 +1,74 @@
+"""Property tests: ResultCache eviction respects its byte budget.
+
+Two invariants, checked over random insert sequences:
+
+- the cache never holds more than ``max_bytes`` of payload (and never
+  more than ``max_entries`` entries), after *every* operation;
+- an admitted insert is never its own victim — ``put`` evicts LRU
+  entries, and the entry being inserted is by definition the most
+  recently used, so it survives the eviction loop that its own arrival
+  triggered.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.cache import CachedResult, ResultCache
+
+
+def _result(tag: int, n_words: int) -> CachedResult:
+    u = np.arange(n_words, dtype=np.int64)
+    return CachedResult(
+        fingerprint=f"fp-{tag}", u=u, v=u.copy(), n=max(1, n_words)
+    )
+
+
+# each payload is 16 bytes per word (two int64 arrays)
+_inserts = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 64)), min_size=1, max_size=60
+)
+
+
+class TestByteBoundProperty:
+    @given(inserts=_inserts, max_bytes=st.integers(0, 2048))
+    @settings(max_examples=150, deadline=None)
+    def test_bytes_never_exceed_budget(self, inserts, max_bytes):
+        cache = ResultCache(max_entries=16, max_bytes=max_bytes)
+        for tag, n_words in inserts:
+            cache.put(_result(tag, n_words))
+            assert cache.nbytes <= max_bytes
+            assert len(cache) <= 16
+            # the tracked total always equals the sum of what is held
+            held = sum(
+                e.nbytes for e in cache._entries.values()
+            )
+            assert cache.nbytes == held
+
+    @given(inserts=_inserts)
+    @settings(max_examples=100, deadline=None)
+    def test_admitted_insert_survives_its_own_eviction(self, inserts):
+        cache = ResultCache(max_entries=8, max_bytes=1024)
+        for tag, n_words in inserts:
+            result = _result(tag, n_words)
+            kept = cache.put(result)
+            if result.nbytes <= cache.max_bytes:
+                # admitted: the entry (or its racing twin) must be
+                # resident — put never evicts the key it just inserted
+                assert cache._entries.get(result.fingerprint) is kept
+            else:
+                # oversized payloads pass through uncached
+                assert result.fingerprint not in cache._entries
+                assert kept is result
+
+    @given(max_bytes=st.integers(0, 256))
+    @settings(max_examples=50, deadline=None)
+    def test_oversized_payload_never_wipes_working_set(self, max_bytes):
+        cache = ResultCache(max_entries=8, max_bytes=max_bytes)
+        small = _result(1, max(0, max_bytes // 16))
+        cache.put(small)
+        resident_before = len(cache)
+        big = _result(2, max_bytes // 16 + 1)
+        assert big.nbytes > max_bytes
+        returned = cache.put(big)
+        assert returned is big
+        assert len(cache) == resident_before

@@ -74,6 +74,7 @@ class TestCache:
             "hits": 1,
             "misses": 1,
             "evictions": 1,
+            "corrupt_evictions": 0,
         }
 
     def test_invalid_bounds_rejected(self):
